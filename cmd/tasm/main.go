@@ -1,0 +1,63 @@
+// Tasm assembles I1 assembly source to a code image, or disassembles
+// an image.
+//
+// Usage:
+//
+//	tasm [-w words] [-o out.tix] program.tasm     assemble
+//	tasm -d image.tix                             disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transputer/internal/asm"
+	"transputer/internal/isa"
+	"transputer/internal/tool"
+)
+
+func main() {
+	wordBytes := flag.Int("w", 4, "word length in bytes")
+	out := flag.String("o", "", "output image path")
+	disasm := flag.Bool("d", false, "disassemble an image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tasm [-w words] [-o out.tix] program.tasm | tasm -d image.tix")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	if *disasm {
+		img, err := tool.ReadImage(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("; %s: %d bytes, entry %#x, data %d, workspace %d/%d\n",
+			path, len(img.Code), img.Entry, img.DataBytes, img.WsBelow, img.WsAbove)
+		fmt.Print(isa.Sdisassemble(img.Code))
+		return
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := asm.Assemble(string(src), *wordBytes)
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = path + ".tix"
+	}
+	if err := tool.WriteImage(dst, a.Image); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes -> %s\n", path, len(a.Image.Code), dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tasm:", err)
+	os.Exit(1)
+}

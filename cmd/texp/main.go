@@ -1,0 +1,43 @@
+// Texp regenerates every quantitative table and figure of "The
+// Transputer" (ISCA 1985) on the simulator and prints paper-vs-measured
+// tables.  See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for a recorded run.
+//
+// Usage:
+//
+//	texp            run everything
+//	texp E4 E9 A1   run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"transputer/internal/exp"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, arg := range os.Args[1:] {
+		want[strings.ToUpper(arg)] = true
+	}
+	fmt.Println("Reproduction of \"The Transputer\" (Whitby-Strevens, ISCA 1985)")
+	fmt.Println("==============================================================")
+	fmt.Println()
+	failures := 0
+	for _, r := range exp.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		r.Fprint(os.Stdout)
+		if !r.Pass() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) had mismatching rows\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments reproduce the paper's figures")
+}

@@ -1,0 +1,121 @@
+// Tnet runs a network of transputers described by a topology file (see
+// internal/network.ParseTopology for the format).  Program paths in
+// the file are resolved relative to the file's directory.
+//
+// Usage:
+//
+//	tnet [-stats] network.tnet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"transputer/internal/network"
+	"transputer/internal/sim"
+	"transputer/internal/tool"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print per-node statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnet [-stats] network.tnet")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := network.ParseTopology(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	base := filepath.Dir(path)
+
+	s := network.NewSystem()
+	var hosts []*network.Host
+	for _, spec := range topo.Transputers {
+		cfg, err := tool.ModelConfig(spec.Model, spec.MemBytes)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := s.AddTransputer(spec.Name, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if spec.Program == "" {
+			continue
+		}
+		img, err := tool.LoadAny(filepath.Join(base, spec.Program), cfg.WordBits/8)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", spec.Name, err))
+		}
+		if err := n.Load(img); err != nil {
+			fatal(fmt.Errorf("%s: %w", spec.Name, err))
+		}
+	}
+	for _, c := range topo.Connections {
+		a, ok := s.Node(c.A)
+		if !ok {
+			fatal(fmt.Errorf("connect: unknown transputer %q", c.A))
+		}
+		b, ok := s.Node(c.B)
+		if !ok {
+			fatal(fmt.Errorf("connect: unknown transputer %q", c.B))
+		}
+		if err := s.Connect(a, c.ALink, b, c.BLink); err != nil {
+			fatal(err)
+		}
+	}
+	for _, h := range topo.Hosts {
+		n, ok := s.Node(h.Node)
+		if !ok {
+			fatal(fmt.Errorf("host: unknown transputer %q", h.Node))
+		}
+		host, err := s.AttachHost(n, h.Link, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range topo.Inputs[h.Node] {
+			host.QueueInput(v)
+		}
+		hosts = append(hosts, host)
+	}
+
+	limit := topo.RunLimit
+	if limit == 0 {
+		limit = sim.Second
+	}
+	rep := s.Run(limit)
+	if !rep.Settled {
+		fmt.Fprintf(os.Stderr, "tnet: time limit reached at %v (still running: %v)\n",
+			rep.Time, rep.Running)
+	}
+	for _, name := range rep.Halted {
+		n, _ := s.Node(name)
+		fmt.Fprintf(os.Stderr, "tnet: %s halted: %v\n", name, n.M.Fault())
+	}
+	for _, name := range rep.Blocked {
+		n, _ := s.Node(name)
+		fmt.Fprintf(os.Stderr, "tnet: %s deadlocked: %d process(es) blocked on channels\n",
+			name, n.M.WaitingProcesses())
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "simulated time: %v\n", rep.Time)
+		for _, n := range s.Nodes() {
+			tool.PrintStats(os.Stderr, n.Name, n.M.Stats(), n.M.Config().CycleNs)
+		}
+		for i, h := range hosts {
+			fmt.Fprintf(os.Stderr, "host %d: exit=%v values=%v\n", i, h.Done, h.Values)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnet:", err)
+	os.Exit(1)
+}

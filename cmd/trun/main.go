@@ -1,0 +1,94 @@
+// Trun runs a program on one simulated transputer with a host device
+// on link 0, printing the program's host output and, optionally,
+// execution statistics.
+//
+// Usage:
+//
+//	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats] [-in w,w,...] program.{occ,tasm,tix}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/sim"
+	"transputer/internal/tool"
+)
+
+func main() {
+	model := flag.String("model", "t424", "transputer model (t424 or t222)")
+	mem := flag.Int("mem", 64*1024, "memory size in bytes")
+	limitMs := flag.Int("limit", 1000, "simulated time limit in milliseconds (0 = no limit)")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	trace := flag.Bool("trace", false, "trace every instruction to standard error")
+	input := flag.String("in", "", "comma-separated words queued for host input")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trun [flags] program.{occ,tasm,tix}")
+		os.Exit(2)
+	}
+
+	cfg, err := tool.ModelConfig(*model, *mem)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := tool.LoadAny(flag.Arg(0), cfg.WordBits/8)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := network.NewSystem()
+	n, err := s.AddTransputer("main", cfg)
+	if err != nil {
+		fatal(err)
+	}
+	host, err := s.AttachHost(n, 0, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if *input != "" {
+		for _, f := range strings.Split(*input, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad input word %q", f))
+			}
+			host.QueueInput(v)
+		}
+	}
+	if err := n.Load(img); err != nil {
+		fatal(err)
+	}
+	if *trace {
+		n.M.SetTrace(core.TraceWriter(os.Stderr))
+	}
+
+	rep := s.Run(sim.Time(*limitMs) * sim.Millisecond)
+	if err := n.M.Fault(); err != nil {
+		fatal(err)
+	}
+	if !rep.Settled {
+		fmt.Fprintf(os.Stderr, "trun: time limit reached at %v\n", rep.Time)
+	}
+	if len(rep.Blocked) > 0 {
+		fmt.Fprintf(os.Stderr, "trun: deadlock: %d process(es) blocked on channels\n",
+			n.M.WaitingProcesses())
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "simulated time: %v (host exit: %v)\n", rep.Time, host.Done)
+		tool.PrintStats(os.Stderr, n.Name, n.M.Stats(), n.M.Config().CycleNs)
+	}
+	if n.M.ErrorFlag() {
+		fmt.Fprintln(os.Stderr, "trun: machine error flag set")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trun:", err)
+	os.Exit(1)
+}

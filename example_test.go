@@ -1,0 +1,98 @@
+package transputer_test
+
+import (
+	"fmt"
+	"os"
+
+	"transputer"
+)
+
+// ExampleCompileOccam compiles and runs a one-transputer occam program
+// that prints through the host link.
+func ExampleCompileOccam() {
+	img, err := transputer.CompileOccam(`CHAN screen:
+PLACE screen AT LINK0OUT:
+VAR x:
+SEQ
+  x := 6 * 7
+  screen ! 2; x
+  screen ! 4
+`, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys := transputer.NewSystem()
+	node := sys.MustAddTransputer("main", transputer.T424().WithMemory(64*1024))
+	host, _ := sys.AttachHost(node, 0, os.Stdout)
+	if err := node.Load(img); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys.Run(transputer.Second)
+	fmt.Println("exit:", host.Done)
+	// Output:
+	// 42
+	// exit: true
+}
+
+// ExampleNewSystem builds a two-transputer system with a link between
+// them: the paper's configuration model in miniature.
+func ExampleNewSystem() {
+	producer, _ := transputer.CompileOccam(`CHAN out:
+PLACE out AT LINK2OUT:
+SEQ i = [1 FOR 3]
+  out ! i * 11
+`, 4)
+	consumer, _ := transputer.CompileOccam(`CHAN in, screen:
+PLACE in AT LINK1IN:
+PLACE screen AT LINK0OUT:
+VAR v:
+SEQ
+  SEQ i = [1 FOR 3]
+    SEQ
+      in ? v
+      screen ! 2; v
+  screen ! 4
+`, 4)
+
+	sys := transputer.NewSystem()
+	p := sys.MustAddTransputer("producer", transputer.T424().WithMemory(64*1024))
+	c := sys.MustAddTransputer("consumer", transputer.T424().WithMemory(64*1024))
+	sys.MustConnect(p, 2, c, 1)
+	host, _ := sys.AttachHost(c, 0, os.Stdout)
+	p.Load(producer)
+	c.Load(consumer)
+	rep := sys.Run(transputer.Second)
+	fmt.Println("settled:", rep.Settled, "exit:", host.Done)
+	// Output:
+	// 11
+	// 22
+	// 33
+	// settled: true exit: true
+}
+
+// ExampleDisassemble shows the paper's #754 prefix sequence.
+func ExampleDisassemble() {
+	img, _ := transputer.AssembleSource("\tldc #754\n", 4)
+	fmt.Print(transputer.Disassemble(img.Code))
+	// Output:
+	// 000000  27 25 44          ldc 1876      load constant 1876
+}
+
+// ExampleRun executes assembly on a standalone machine.
+func ExampleRun() {
+	m, _ := transputer.NewMachine(transputer.T424().WithMemory(16 * 1024))
+	img, _ := transputer.AssembleSource(`
+	ldc 6
+	ldc 7
+	mul
+	stl 1
+	stopp
+`, 4)
+	m.Load(img)
+	res := transputer.Run(m, 0)
+	fmt.Println("settled:", res.Settled, "result:", m.Local(1))
+	// Output:
+	// settled: true result: 42
+}

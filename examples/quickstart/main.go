@@ -1,0 +1,68 @@
+// Quickstart: compile a small occam program, run it on one simulated
+// T424, and print its host output and execution statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"transputer"
+)
+
+// The program computes the squares of 1..10 with a producer and a
+// consumer running in parallel over an internal channel, then prints
+// them through the host link — the same process structure that could
+// be configured across two transputers.
+const program = `CHAN screen:
+PLACE screen AT LINK0OUT:
+PROC squares(CHAN out, VALUE n) =
+  SEQ i = [1 FOR n]
+    out ! i * i
+:
+PROC display(CHAN in, CHAN to.host, VALUE n) =
+  VAR v:
+  SEQ
+    SEQ i = [1 FOR n]
+      SEQ
+        in ? v
+        to.host ! 2
+        to.host ! v
+    to.host ! 4
+:
+DEF n = 10:
+CHAN c:
+PAR
+  squares(c, n)
+  display(c, screen, n)
+`
+
+func main() {
+	img, err := transputer.CompileOccam(program, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("compiled: %d bytes of transputer code\n\n", len(img.Code))
+
+	sys := transputer.NewSystem()
+	node := sys.MustAddTransputer("main", transputer.T424().WithMemory(64*1024))
+	host, err := sys.AttachHost(node, 0, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := node.Load(img); err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+
+	rep := sys.Run(transputer.Second)
+	st := node.M.Stats()
+	fmt.Printf("\nsimulated time  %v (program exit: %v)\n", rep.Time, host.Done)
+	fmt.Printf("instructions    %d\n", st.Instructions)
+	fmt.Printf("cycles          %d (%.2f MIPS at 20 MHz)\n", st.Cycles, st.MIPS(50))
+	fmt.Printf("single byte     %.1f%% of executed instructions\n", 100*st.SingleByteFraction())
+	fmt.Printf("messages        %d sent, %d received\n", st.MessagesOut, st.MessagesIn)
+}

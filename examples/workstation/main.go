@@ -1,0 +1,43 @@
+// Workstation runs the personal workstation of the paper's section 4.1
+// (figure 6): an applications transputer calling on a disk transputer
+// and a graphics transputer over standard links.
+//
+//	go run ./examples/workstation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"transputer/internal/apps/workstation"
+	"transputer/internal/sim"
+)
+
+func main() {
+	s, err := workstation.BuildWithOutput(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("workstation: app + disk + graphics transputers on standard links")
+
+	rep := s.Run(sim.Second)
+	if !rep.Settled || !s.Host.Done {
+		fmt.Fprintf(os.Stderr, "session did not complete: %+v\n", rep)
+		os.Exit(1)
+	}
+	fmt.Printf("session completed in %v of simulated time\n\n", rep.Time)
+
+	fmt.Printf("disk checksum    %8d (expected %d)\n", s.Host.Values[0], workstation.ExpectedDiskSum())
+	fmt.Printf("display checksum %8d (expected %d)\n", s.Host.Values[1], workstation.ExpectedGfxSum())
+	fmt.Println()
+	for _, n := range s.Net.Nodes() {
+		st := n.M.Stats()
+		fmt.Printf("%-5s %8d instructions, %9d cycles, %5d messages out, %5d in\n",
+			n.Name, st.Instructions, st.Cycles, st.MessagesOut, st.MessagesIn)
+	}
+	if s.Host.Values[0] != workstation.ExpectedDiskSum() ||
+		s.Host.Values[1] != workstation.ExpectedGfxSum() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module transputer
+
+go 1.22

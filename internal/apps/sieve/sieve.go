@@ -1,0 +1,175 @@
+// Package sieve builds a prime sieve pipeline across a chain of
+// transputers — the classic communicating-process algorithm the
+// paper's programming model invites ("new algorithms need to be
+// developed" for local processing and communication; the pipeline is
+// the canonical example from the occam literature it cites).
+//
+// A generator transputer emits the integers 2..N followed by a
+// negative sentinel.  Each filter stage claims the first number it
+// sees as its prime and forwards only non-multiples.  When the
+// sentinel arrives, each stage appends its prime to the drain wave, so
+// the collector receives every prime in ascending order.
+package sieve
+
+import (
+	"fmt"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/occam"
+	"transputer/internal/sim"
+)
+
+// Params configures the pipeline.
+type Params struct {
+	// Limit: the sieve covers 2..Limit.
+	Limit int
+	// Stages is the number of filter transputers; it must be at least
+	// the number of primes up to Limit for the drain to be exact.
+	Stages int
+}
+
+// Defaults sieves to 50 with one stage per prime (15 primes).
+func Defaults() Params { return Params{Limit: 50, Stages: 15} }
+
+// Primes computes the reference answer on the host.
+func Primes(limit int) []int64 {
+	sieve := make([]bool, limit+1)
+	var out []int64
+	for i := 2; i <= limit; i++ {
+		if !sieve[i] {
+			out = append(out, int64(i))
+			for j := i * i; j <= limit; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return out
+}
+
+// System is a built pipeline.
+type System struct {
+	Params Params
+	Net    *network.System
+	Host   *network.Host
+}
+
+const generatorTemplate = `DEF limit = %d:
+CHAN out:
+PLACE out AT LINK1OUT:
+SEQ
+  SEQ i = [2 FOR (limit - 1)]
+    out ! i
+  out ! -1
+`
+
+// Every filter stage runs the same program: the per-node configuration
+// differences are entirely in the wiring.
+const stageSource = `CHAN in, out:
+PLACE in AT LINK0IN:
+PLACE out AT LINK1OUT:
+VAR p, x, claimed, draining:
+SEQ
+  claimed := FALSE
+  draining := FALSE
+  WHILE NOT draining
+    SEQ
+      in ? x
+      IF
+        x < 0
+          SEQ
+            IF
+              claimed
+                out ! p
+              TRUE
+                SKIP
+            out ! -1
+            draining := TRUE
+        NOT claimed
+          SEQ
+            p := x
+            claimed := TRUE
+        (x \ p) <> 0
+          out ! x
+        TRUE
+          SKIP
+`
+
+const collectorSource = `CHAN in, screen:
+PLACE in AT LINK0IN:
+PLACE screen AT LINK1OUT:
+VAR x, going:
+SEQ
+  going := TRUE
+  WHILE going
+    SEQ
+      in ? x
+      IF
+        x < 0
+          SEQ
+            screen ! 4
+            going := FALSE
+        TRUE
+          SEQ
+            screen ! 2
+            screen ! x
+`
+
+// Build wires generator -> stages -> collector.
+func Build(p Params) (*System, error) {
+	net := network.NewSystem()
+	cfg := core.T424().WithMemory(32 * 1024)
+	gen, err := net.AddTransputer("gen", cfg)
+	if err != nil {
+		return nil, err
+	}
+	prev := gen
+	for i := 0; i < p.Stages; i++ {
+		stage, serr := net.AddTransputer(fmt.Sprintf("s%d", i), cfg)
+		if serr != nil {
+			return nil, serr
+		}
+		if cerr := net.Connect(prev, 1, stage, 0); cerr != nil {
+			return nil, cerr
+		}
+		prev = stage
+	}
+	coll, err := net.AddTransputer("collect", cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Connect(prev, 1, coll, 0); err != nil {
+		return nil, err
+	}
+	// Pipeline input arrives on the collector's link 0; the host hangs
+	// off link 1.
+	host, err := net.AttachHost(coll, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	programs := map[*network.Node]string{
+		gen:  fmt.Sprintf(generatorTemplate, p.Limit),
+		coll: collectorSource,
+	}
+	for _, n := range net.Nodes() {
+		src, ok := programs[n]
+		if !ok {
+			src = stageSource
+		}
+		comp, cerr := occam.Compile(src, occam.Options{})
+		if cerr != nil {
+			return nil, fmt.Errorf("%s: %w", n.Name, cerr)
+		}
+		if lerr := n.Load(comp.Image); lerr != nil {
+			return nil, fmt.Errorf("%s: %w", n.Name, lerr)
+		}
+	}
+	return &System{Params: p, Net: net, Host: host}, nil
+}
+
+// Run drives the sieve to completion and returns the primes received.
+func (s *System) Run(limit sim.Time) ([]int64, network.Report) {
+	rep := s.Net.Run(limit)
+	return s.Host.Values, rep
+}

@@ -1,0 +1,65 @@
+package sieve
+
+import (
+	"testing"
+
+	"transputer/internal/sim"
+)
+
+func TestPrimesReference(t *testing.T) {
+	got := Primes(30)
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("Primes(30) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Primes(30) = %v", got)
+		}
+	}
+}
+
+func TestPipelineSievesPrimes(t *testing.T) {
+	p := Defaults()
+	want := Primes(p.Limit)
+	if len(want) > p.Stages {
+		t.Fatalf("parameters inconsistent: %d primes, %d stages", len(want), p.Stages)
+	}
+	s, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep := s.Run(sim.Second)
+	if !rep.Settled || !s.Host.Done {
+		t.Fatalf("rep=%+v done=%v", rep, s.Host.Done)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("primes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("primes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSmallPipeline(t *testing.T) {
+	p := Params{Limit: 10, Stages: 4}
+	s, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep := s.Run(sim.Second)
+	if !rep.Settled {
+		t.Fatalf("%+v", rep)
+	}
+	want := []int64{2, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("primes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("primes = %v", got)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package systolic builds a linear systolic array of transputers
+// computing a matrix-vector product — the application domain of the
+// paper's citations on signal processing and systolic/wavefront arrays
+// (references 21 and 22).  Each cell holds one matrix row; the input
+// vector streams through the chain, every cell accumulating its dot
+// product on the fly, and the results drain out of the far end.
+//
+// The structure shows the transputer programming style the paper
+// argues for: identical small programs in every cell, all
+// communication on point-to-point links, computation overlapping
+// communication.
+package systolic
+
+import (
+	"fmt"
+	"strings"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/occam"
+	"transputer/internal/sim"
+)
+
+// Params sizes the array: N cells computing an NxN product.
+type Params struct {
+	N        int
+	MemBytes int
+}
+
+// Defaults is an 8-cell array.
+func Defaults() Params { return Params{N: 8, MemBytes: 64 * 1024} }
+
+// Matrix returns the deterministic test matrix element A[row][col],
+// kept small so 32-bit checked arithmetic cannot overflow.
+func Matrix(row, col int) int64 {
+	return int64(((row+1)*(col+3))%17 - 8)
+}
+
+// Vector returns the deterministic input vector element x[i].
+func Vector(i int) int64 { return int64((i*5)%11 - 5) }
+
+// Reference computes y = A.x on the host.
+func Reference(p Params) []int64 {
+	y := make([]int64, p.N)
+	for r := 0; r < p.N; r++ {
+		for c := 0; c < p.N; c++ {
+			y[r] += Matrix(r, c) * Vector(c)
+		}
+	}
+	return y
+}
+
+// System is a built array.
+type System struct {
+	Params Params
+	Net    *network.System
+	Host   *network.Host
+}
+
+// Build wires feeder -> cell[0..N-1] -> collector.
+func Build(p Params) (*System, error) {
+	net := network.NewSystem()
+	cfg := core.T424().WithMemory(p.MemBytes)
+	feeder, err := net.AddTransputer("feed", cfg)
+	if err != nil {
+		return nil, err
+	}
+	prev := feeder
+	cells := make([]*network.Node, p.N)
+	for i := 0; i < p.N; i++ {
+		cell, cerr := net.AddTransputer(fmt.Sprintf("cell%d", i), cfg)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if werr := net.Connect(prev, 1, cell, 0); werr != nil {
+			return nil, werr
+		}
+		cells[i] = cell
+		prev = cell
+	}
+	coll, err := net.AddTransputer("collect", cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Connect(prev, 1, coll, 0); err != nil {
+		return nil, err
+	}
+	host, err := net.AttachHost(coll, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := load(feeder, feederSource(p)); err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		if err := load(cell, cellSource(p, i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := load(coll, collectorSource(p)); err != nil {
+		return nil, err
+	}
+	return &System{Params: p, Net: net, Host: host}, nil
+}
+
+func load(n *network.Node, src string) error {
+	comp, err := occam.Compile(src, occam.Options{})
+	if err != nil {
+		return fmt.Errorf("%s: %w\n%s", n.Name, err, src)
+	}
+	if err := n.Load(comp.Image); err != nil {
+		return fmt.Errorf("%s: %w", n.Name, err)
+	}
+	return nil
+}
+
+// Run drives the array and returns the result vector.
+func (s *System) Run(limit sim.Time) ([]int64, network.Report) {
+	rep := s.Net.Run(limit)
+	return s.Host.Values, rep
+}
+
+// feederSource streams the input vector into the chain.
+func feederSource(p Params) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DEF n = %d:\n", p.N)
+	sb.WriteString(`CHAN out:
+PLACE out AT LINK1OUT:
+SEQ i = [0 FOR n]
+  out ! (((i * 5) \ 11) - 5)
+`)
+	return sb.String()
+}
+
+// cellSource is the per-cell program: stream the vector through while
+// accumulating this row's dot product, then drain upstream results
+// ahead of its own.
+func cellSource(p Params, row int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DEF n = %d:\nDEF row = %d:\n", p.N, row)
+	sb.WriteString(`CHAN in, out:
+PLACE in AT LINK0IN:
+PLACE out AT LINK1OUT:
+VAR a[n], acc, x:
+SEQ
+  SEQ k = [0 FOR n]
+    a[k] := ((((row + 1) * (k + 3)) \ 17) - 8)
+  acc := 0
+  SEQ k = [0 FOR n]
+    SEQ
+      in ? x
+      out ! x
+      acc := acc + (a[k] * x)
+  SEQ k = [0 FOR row]
+    VAR y:
+    SEQ
+      in ? y
+      out ! y
+  out ! acc
+`)
+	return sb.String()
+}
+
+// collectorSource reads the streamed-through vector copy, then the
+// result vector, and reports it.
+func collectorSource(p Params) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DEF n = %d:\n", p.N)
+	sb.WriteString(`CHAN in, screen:
+PLACE in AT LINK0IN:
+PLACE screen AT LINK1OUT:
+VAR v:
+SEQ
+  SEQ k = [0 FOR n]
+    in ? v        -- the vector emerging from the last cell
+  SEQ k = [0 FOR n]
+    SEQ
+      in ? v      -- the results, first row first
+      screen ! 2
+      screen ! v
+  screen ! 4
+`)
+	return sb.String()
+}

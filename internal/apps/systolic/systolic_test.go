@@ -1,0 +1,61 @@
+package systolic
+
+import (
+	"testing"
+
+	"transputer/internal/sim"
+)
+
+func TestMatrixVectorProduct(t *testing.T) {
+	p := Defaults()
+	s, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep := s.Run(sim.Second)
+	if !rep.Settled || !s.Host.Done {
+		t.Fatalf("rep=%+v done=%v", rep, s.Host.Done)
+	}
+	want := Reference(p)
+	if len(got) != len(want) {
+		t.Fatalf("y = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("y[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSmallerArray(t *testing.T) {
+	p := Params{N: 3, MemBytes: 32 * 1024}
+	s, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep := s.Run(sim.Second)
+	if !rep.Settled {
+		t.Fatalf("%+v", rep)
+	}
+	want := Reference(p)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReferenceSanity(t *testing.T) {
+	// The deterministic matrix and vector must not be all zeros.
+	p := Defaults()
+	y := Reference(p)
+	nonzero := false
+	for _, v := range y {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("reference product is identically zero; the test data is degenerate")
+	}
+}

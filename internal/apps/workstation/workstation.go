@@ -1,0 +1,252 @@
+// Package workstation builds the personal workstation of the paper's
+// section 4.1 (figure 6): an applications transputer that "accepts the
+// user's commands and carries out the appropriate processing, calling
+// on two other transputers, which look after a disk system and a
+// graphics display system respectively", all connected by standard
+// links.
+//
+// The disk and graphics transputers run occam service loops standing
+// in for the transputer-based device controllers the paper describes;
+// the substitution preserves what the figure demonstrates — function
+// distributed across ordinary transputers reached over links.
+package workstation
+
+import (
+	"fmt"
+	"io"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/occam"
+	"transputer/internal/sim"
+)
+
+// Geometry of the simulated devices.
+const (
+	Blocks    = 8  // disk blocks
+	BlockSize = 8  // words per block
+	FbWidth   = 16 // framebuffer width in pixels
+	FbHeight  = 8
+)
+
+// Disk protocol operations (words on the disk transputer's link).
+const (
+	diskWrite = 1
+	diskRead  = 2
+)
+
+// Graphics protocol operations.
+const (
+	gfxPoint    = 1
+	gfxClear    = 2
+	gfxChecksum = 3
+)
+
+// System is a built workstation.
+type System struct {
+	Net  *network.System
+	Host *network.Host
+	App  *network.Node
+	Disk *network.Node
+	Gfx  *network.Node
+}
+
+// diskSource is the disk controller service loop.
+var diskSource = fmt.Sprintf(`DEF nblocks = %d:
+DEF bsize = %d:
+CHAN cmd, rsp:
+PLACE cmd AT LINK0IN:
+PLACE rsp AT LINK0OUT:
+VAR store[%d], op, blk, v:
+WHILE TRUE
+  SEQ
+    cmd ? op
+    IF
+      op = %d
+        SEQ
+          cmd ? blk
+          SEQ i = [0 FOR bsize]
+            SEQ
+              cmd ? v
+              store[((blk * bsize) + i)] := v
+      op = %d
+        SEQ
+          cmd ? blk
+          SEQ i = [0 FOR bsize]
+            rsp ! store[((blk * bsize) + i)]
+      TRUE
+        SKIP
+`, Blocks, BlockSize, Blocks*BlockSize, diskWrite, diskRead)
+
+// gfxSource is the graphics controller service loop.
+var gfxSource = fmt.Sprintf(`DEF width = %d:
+DEF height = %d:
+CHAN cmd, rsp:
+PLACE cmd AT LINK0IN:
+PLACE rsp AT LINK0OUT:
+VAR fb[%d], op, x, y, colour, sum:
+WHILE TRUE
+  SEQ
+    cmd ? op
+    IF
+      op = %d
+        SEQ
+          cmd ? x
+          cmd ? y
+          cmd ? colour
+          fb[((y * width) + x)] := colour
+      op = %d
+        SEQ
+          cmd ? colour
+          SEQ i = [0 FOR (width * height)]
+            fb[i] := colour
+      op = %d
+        SEQ
+          sum := 0
+          SEQ i = [0 FOR (width * height)]
+            sum := sum + ((i + 1) * fb[i])
+          rsp ! sum
+      TRUE
+        SKIP
+`, FbWidth, FbHeight, FbWidth*FbHeight, gfxPoint, gfxClear, gfxChecksum)
+
+// appSource is the applications transputer: it writes a pattern of
+// blocks to the disk, reads them back summing, draws a diagonal on the
+// display, and reports both checksums to the host.
+var appSource = fmt.Sprintf(`DEF dwrite = %d:
+DEF dread = %d:
+DEF gpoint = %d:
+DEF gclear = %d:
+DEF gsum = %d:
+DEF nblocks = %d:
+DEF bsize = %d:
+DEF height = %d:
+DEF disk.label = "disk: ":
+DEF gfx.label = "display: ":
+CHAN screen, disk.cmd, disk.rsp, gfx.cmd, gfx.rsp:
+PLACE screen AT LINK0OUT:
+PLACE disk.cmd AT LINK1OUT:
+PLACE disk.rsp AT LINK1IN:
+PLACE gfx.cmd AT LINK2OUT:
+PLACE gfx.rsp AT LINK2IN:
+PROC write.string(CHAN out, VALUE s[]) =
+  SEQ i = [1 FOR s[BYTE 0]]
+    SEQ
+      out ! 1
+      out ! s[BYTE i]
+:
+VAR v, disksum, gfxsum:
+SEQ
+  -- file the pattern onto the disk
+  SEQ b = [0 FOR nblocks]
+    SEQ
+      disk.cmd ! dwrite
+      disk.cmd ! b
+      SEQ i = [0 FOR bsize]
+        disk.cmd ! ((b * 100) + i)
+  -- read it back, accumulating a checksum
+  disksum := 0
+  SEQ b = [0 FOR nblocks]
+    SEQ
+      disk.cmd ! dread
+      disk.cmd ! b
+      SEQ i = [0 FOR bsize]
+        SEQ
+          disk.rsp ? v
+          disksum := disksum + v
+  -- draw a diagonal and fetch the display checksum
+  gfx.cmd ! gclear
+  gfx.cmd ! 0
+  SEQ i = [0 FOR height]
+    SEQ
+      gfx.cmd ! gpoint
+      gfx.cmd ! i
+      gfx.cmd ! i
+      gfx.cmd ! (i + 1)
+  gfx.cmd ! gsum
+  gfx.rsp ? gfxsum
+  write.string(screen, disk.label)
+  screen ! 2
+  screen ! disksum
+  write.string(screen, gfx.label)
+  screen ! 2
+  screen ! gfxsum
+  screen ! 4
+`, diskWrite, diskRead, gfxPoint, gfxClear, gfxChecksum,
+	Blocks, BlockSize, FbHeight)
+
+// ExpectedDiskSum is the checksum the application computes from the
+// blocks it filed.
+func ExpectedDiskSum() int64 {
+	sum := int64(0)
+	for b := 0; b < Blocks; b++ {
+		for i := 0; i < BlockSize; i++ {
+			sum += int64(b*100 + i)
+		}
+	}
+	return sum
+}
+
+// ExpectedGfxSum is the display checksum after the diagonal.
+func ExpectedGfxSum() int64 {
+	fb := make([]int64, FbWidth*FbHeight)
+	for i := 0; i < FbHeight; i++ {
+		fb[i*FbWidth+i] = int64(i + 1)
+	}
+	sum := int64(0)
+	for i, v := range fb {
+		sum += int64(i+1) * v
+	}
+	return sum
+}
+
+// Build compiles and wires the three transputers: the resulting system
+// "can be engineered onto a single card".
+func Build() (*System, error) { return BuildWithOutput(nil) }
+
+// BuildWithOutput additionally directs the application's printed text
+// to w.
+func BuildWithOutput(w io.Writer) (*System, error) {
+	net := network.NewSystem()
+	cfg := core.T424().WithMemory(64 * 1024)
+	app, err := net.AddTransputer("app", cfg)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := net.AddTransputer("disk", cfg)
+	if err != nil {
+		return nil, err
+	}
+	gfx, err := net.AddTransputer("gfx", cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Connect(app, 1, disk, 0); err != nil {
+		return nil, err
+	}
+	if err := net.Connect(app, 2, gfx, 0); err != nil {
+		return nil, err
+	}
+	host, err := net.AttachHost(app, 0, w)
+	if err != nil {
+		return nil, err
+	}
+	for _, load := range []struct {
+		node *network.Node
+		src  string
+	}{{app, appSource}, {disk, diskSource}, {gfx, gfxSource}} {
+		comp, cerr := occam.Compile(load.src, occam.Options{})
+		if cerr != nil {
+			return nil, fmt.Errorf("%s: %w", load.node.Name, cerr)
+		}
+		if lerr := load.node.Load(comp.Image); lerr != nil {
+			return nil, fmt.Errorf("%s: %w", load.node.Name, lerr)
+		}
+	}
+	return &System{Net: net, Host: host, App: app, Disk: disk, Gfx: gfx}, nil
+}
+
+// Run drives the workstation session to completion.
+func (s *System) Run(limit sim.Time) network.Report {
+	return s.Net.Run(limit)
+}

@@ -1,0 +1,63 @@
+package workstation
+
+import (
+	"strings"
+	"testing"
+
+	"transputer/internal/sim"
+)
+
+func TestWorkstationSession(t *testing.T) {
+	s, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(500 * sim.Millisecond)
+	if !rep.Settled {
+		t.Fatalf("did not settle: %+v", rep)
+	}
+	if !s.Host.Done {
+		t.Fatal("application did not exit")
+	}
+	for _, n := range []struct {
+		name  string
+		fault error
+	}{{"app", s.App.M.Fault()}, {"disk", s.Disk.M.Fault()}, {"gfx", s.Gfx.M.Fault()}} {
+		if n.fault != nil {
+			t.Errorf("%s: %v", n.name, n.fault)
+		}
+	}
+	if len(s.Host.Values) != 2 {
+		t.Fatalf("values = %v", s.Host.Values)
+	}
+	if s.Host.Values[0] != ExpectedDiskSum() {
+		t.Errorf("disk checksum = %d, want %d", s.Host.Values[0], ExpectedDiskSum())
+	}
+	if s.Host.Values[1] != ExpectedGfxSum() {
+		t.Errorf("display checksum = %d, want %d", s.Host.Values[1], ExpectedGfxSum())
+	}
+	// All three transputers did real work.
+	for _, n := range s.Net.Nodes() {
+		if n.M.Stats().Instructions == 0 {
+			t.Errorf("%s executed nothing", n.Name)
+		}
+	}
+}
+
+// TestWorkstationOutputText: the application prints its labels itself
+// through occam string tables.
+func TestWorkstationOutputText(t *testing.T) {
+	var out strings.Builder
+	s, err := BuildWithOutput(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(sim.Second)
+	if !rep.Settled || !s.Host.Done {
+		t.Fatalf("%+v", rep)
+	}
+	text := out.String()
+	if !strings.Contains(text, "disk: ") || !strings.Contains(text, "display: ") {
+		t.Errorf("output = %q", text)
+	}
+}

@@ -1,0 +1,276 @@
+// Package asm provides a symbolic instruction builder and a two-pass
+// text assembler for the I1 instruction set.
+//
+// Branch operands are instruction-pointer relative and the encoded size
+// of an instruction depends on its operand, so label-relative operands
+// are resolved by fixpoint iteration: sizes only ever grow, so the
+// iteration terminates.
+package asm
+
+import (
+	"fmt"
+
+	"transputer/internal/isa"
+)
+
+// itemKind discriminates builder items.
+type itemKind int
+
+const (
+	kindFn     itemKind = iota // direct function, literal operand
+	kindOp                     // indirect operation
+	kindBranch                 // direct function, label-relative operand
+	kindDiff                   // direct function, operand = labelA - labelB
+	kindAbs                    // direct function, operand = label offset
+	kindLdpi                   // ldc (label - here) ; ldpi
+	kindBytes                  // raw data bytes
+	kindAlign                  // pad to word boundary
+)
+
+type item struct {
+	kind    itemKind
+	fn      isa.Function
+	op      isa.Op
+	operand int64
+	label   string // branch/abs/ldpi target, or diff minuend
+	label2  string // diff subtrahend
+	bytes   []byte
+	size    int // current encoded size estimate
+	// srcLine, for error reporting from the text assembler.
+	srcLine int
+}
+
+// Builder accumulates symbolic instructions and data, then encodes them
+// with minimal prefix sequences.
+type Builder struct {
+	items  []item
+	labels map[string]int // label -> item index
+	// wordBytes is used by the align directive.
+	wordBytes int
+}
+
+// NewBuilder returns a builder for a machine with the given bytes per
+// word (used only for alignment).
+func NewBuilder(wordBytes int) *Builder {
+	return &Builder{labels: make(map[string]int), wordBytes: wordBytes}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) error {
+	if _, dup := b.labels[name]; dup {
+		return fmt.Errorf("asm: duplicate label %q", name)
+	}
+	b.labels[name] = len(b.items)
+	return nil
+}
+
+// MustLabel is Label for generated (collision-free) names.
+func (b *Builder) MustLabel(name string) {
+	if err := b.Label(name); err != nil {
+		panic(err)
+	}
+}
+
+// Fn appends a direct function with a literal operand.
+func (b *Builder) Fn(fn isa.Function, operand int64) {
+	b.items = append(b.items, item{kind: kindFn, fn: fn, operand: operand, size: 1})
+}
+
+// Op appends an indirect operation.
+func (b *Builder) Op(op isa.Op) {
+	b.items = append(b.items, item{kind: kindOp, op: op, size: len(isa.EncodeOp(nil, op))})
+}
+
+// Branch appends a direct function whose operand is the distance from
+// the address following this instruction to the label.
+func (b *Builder) Branch(fn isa.Function, label string) {
+	b.items = append(b.items, item{kind: kindBranch, fn: fn, label: label, size: 1})
+}
+
+// Diff appends a direct function whose operand is the byte distance
+// labelA - labelB.
+func (b *Builder) Diff(fn isa.Function, labelA, labelB string) {
+	b.items = append(b.items, item{kind: kindDiff, fn: fn, label: labelA, label2: labelB, size: 1})
+}
+
+// Abs appends a direct function whose operand is the byte offset of the
+// label from the start of the code image.
+func (b *Builder) Abs(fn isa.Function, label string) {
+	b.items = append(b.items, item{kind: kindAbs, fn: fn, label: label, size: 1})
+}
+
+// Ldpi appends "load constant (label - here); load pointer to
+// instruction", leaving the absolute address of the label in A.
+func (b *Builder) Ldpi(label string) {
+	b.items = append(b.items, item{kind: kindLdpi, label: label, size: 1 + len(isa.EncodeOp(nil, isa.OpLdpi))})
+}
+
+// Bytes appends raw data.
+func (b *Builder) Bytes(data []byte) {
+	b.items = append(b.items, item{kind: kindBytes, bytes: data, size: len(data)})
+}
+
+// Word appends a little-endian word of the builder's width.
+func (b *Builder) Word(v int64) {
+	data := make([]byte, b.wordBytes)
+	u := uint64(v)
+	for i := range data {
+		data[i] = byte(u)
+		u >>= 8
+	}
+	b.Bytes(data)
+}
+
+// Align pads with zero bytes to the next word boundary.
+func (b *Builder) Align() {
+	b.items = append(b.items, item{kind: kindAlign})
+}
+
+// Result is an assembled code image with its symbol table.
+type Result struct {
+	Code   []byte
+	Labels map[string]int // label -> byte offset
+}
+
+// Assemble resolves all labels and encodes the program.
+func (b *Builder) Assemble() (*Result, error) {
+	// Fixpoint sizing: start from current minimal estimates; recompute
+	// operand sizes from label offsets until stable.
+	offsets := make([]int, len(b.items)+1)
+	for pass := 0; ; pass++ {
+		if pass > 8+len(b.items) {
+			return nil, fmt.Errorf("asm: label fixpoint failed to converge")
+		}
+		// Recompute offsets from sizes.
+		pos := 0
+		for i := range b.items {
+			offsets[i] = pos
+			if b.items[i].kind == kindAlign {
+				pad := 0
+				if b.wordBytes > 0 && pos%b.wordBytes != 0 {
+					pad = b.wordBytes - pos%b.wordBytes
+				}
+				b.items[i].size = pad
+			}
+			pos += b.items[i].size
+		}
+		offsets[len(b.items)] = pos
+		changed := false
+		for i := range b.items {
+			it := &b.items[i]
+			operand, err := b.operandFor(it, offsets, i)
+			if err != nil {
+				return nil, err
+			}
+			var size int
+			switch it.kind {
+			case kindFn, kindBranch, kindDiff, kindAbs:
+				size = isa.OperandLength(operand)
+			case kindLdpi:
+				size = isa.OperandLength(operand) + len(isa.EncodeOp(nil, isa.OpLdpi))
+			default:
+				continue
+			}
+			if size > it.size {
+				it.size = size
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Emit.
+	var code []byte
+	labels := make(map[string]int, len(b.labels))
+	for name, idx := range b.labels {
+		labels[name] = offsets[idx]
+	}
+	for i := range b.items {
+		it := &b.items[i]
+		start := len(code)
+		switch it.kind {
+		case kindBytes:
+			code = append(code, it.bytes...)
+		case kindAlign:
+			for len(code)-start < it.size {
+				code = append(code, 0)
+			}
+		case kindOp:
+			code = append(code, isa.EncodeOp(nil, it.op)...)
+		case kindLdpi:
+			operand, _ := b.operandFor(it, offsets, i)
+			var enc []byte
+			enc = isa.EncodeOperand(enc, isa.FnLdc, operand)
+			enc = isa.EncodeOp(enc, isa.OpLdpi)
+			code = appendPadded(code, enc, it.size)
+		default:
+			operand, _ := b.operandFor(it, offsets, i)
+			enc := isa.EncodeOperand(nil, it.fn, operand)
+			code = appendPadded(code, enc, it.size)
+		}
+		if len(code)-start != it.size {
+			return nil, fmt.Errorf("asm: item %d encoded %d bytes, reserved %d",
+				i, len(code)-start, it.size)
+		}
+	}
+	return &Result{Code: code, Labels: labels}, nil
+}
+
+// appendPadded appends enc front-padded to exactly size bytes with
+// "prefix 0" bytes, which leave a zero operand register unchanged and
+// so are semantically transparent.  Front padding keeps the instruction
+// end (and hence relative branch arithmetic) at the reserved boundary
+// if a later fixpoint pass shrank the operand.
+func appendPadded(code, enc []byte, size int) []byte {
+	for len(enc) < size {
+		code = append(code, byte(isa.FnPfix)<<4)
+		size--
+	}
+	return append(code, enc...)
+}
+
+// operandFor computes the operand of item i given current offsets.
+func (b *Builder) operandFor(it *item, offsets []int, i int) (int64, error) {
+	lookup := func(name string) (int, error) {
+		idx, ok := b.labels[name]
+		if !ok {
+			return 0, fmt.Errorf("asm: undefined label %q (line %d)", name, it.srcLine)
+		}
+		return offsets[idx], nil
+	}
+	switch it.kind {
+	case kindFn, kindOp, kindBytes, kindAlign:
+		return it.operand, nil
+	case kindBranch:
+		target, err := lookup(it.label)
+		if err != nil {
+			return 0, err
+		}
+		return int64(target - (offsets[i] + it.size)), nil
+	case kindDiff:
+		a, err := lookup(it.label)
+		if err != nil {
+			return 0, err
+		}
+		c, err := lookup(it.label2)
+		if err != nil {
+			return 0, err
+		}
+		return int64(a - c), nil
+	case kindAbs:
+		target, err := lookup(it.label)
+		if err != nil {
+			return 0, err
+		}
+		return int64(target), nil
+	case kindLdpi:
+		target, err := lookup(it.label)
+		if err != nil {
+			return 0, err
+		}
+		return int64(target - (offsets[i] + it.size)), nil
+	}
+	return 0, fmt.Errorf("asm: bad item kind %d", it.kind)
+}

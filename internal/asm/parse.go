@@ -1,0 +1,249 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"transputer/internal/core"
+	"transputer/internal/isa"
+)
+
+// Source is the text assembly language:
+//
+//	-- comments run to end of line (';' also accepted)
+//	entry main            -- directives: entry, ws <below> <above>, data <n>
+//	ws 16 8
+//	main:
+//	        ldc #754      -- hex as in the paper
+//	        stl 1
+//	loop:   ldl 1
+//	        adc -1
+//	        cj done       -- a label operand is ip-relative
+//	        j loop
+//	done:   ldc end-start -- difference of two labels
+//	        ldpi table    -- pseudo: loads the address of a label
+//	        byte 1, 2, 'A'
+//	        word 100, -2
+//	        align
+//
+// Operations (operate functions) take no operand: "in", "out", "add"...
+
+// Assembled is the output of the text assembler.
+type Assembled struct {
+	Image  core.Image
+	Labels map[string]int
+}
+
+// Assemble parses and encodes a source file for a machine with the
+// given bytes per word.
+func Assemble(src string, wordBytes int) (*Assembled, error) {
+	b := NewBuilder(wordBytes)
+	var entry string
+	img := core.Image{WsBelow: 64, WsAbove: 64}
+	seenWs := false
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.ReplaceAll(line, "\t", " ")
+		line = strings.TrimSpace(line)
+		// Peel off any leading labels.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !isIdent(name) {
+				break
+			}
+			if err := b.Label(name); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := fields[0]
+		rest := ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		if err := assembleLine(b, &img, &entry, &seenWs, mnem, rest, lineNo+1); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	img.Code = res.Code
+	if entry != "" {
+		off, ok := res.Labels[entry]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined entry label %q", entry)
+		}
+		img.Entry = off
+	}
+	return &Assembled{Image: img, Labels: res.Labels}, nil
+}
+
+func assembleLine(b *Builder, img *core.Image, entry *string, seenWs *bool, mnem, rest string, line int) error {
+	switch mnem {
+	case "entry":
+		*entry = rest
+		return nil
+	case "ws":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf("line %d: ws takes <below> <above>", line)
+		}
+		below, err1 := strconv.Atoi(parts[0])
+		above, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("line %d: bad ws operands", line)
+		}
+		img.WsBelow, img.WsAbove = below, above
+		*seenWs = true
+		return nil
+	case "data":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return fmt.Errorf("line %d: bad data size", line)
+		}
+		img.DataBytes = n
+		return nil
+	case "byte", "word":
+		for _, part := range strings.Split(rest, ",") {
+			v, err := parseNumber(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			if mnem == "byte" {
+				b.Bytes([]byte{byte(v)})
+			} else {
+				b.Word(v)
+			}
+		}
+		return nil
+	case "align":
+		b.Align()
+		return nil
+	case "space":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("line %d: bad space size", line)
+		}
+		b.Bytes(make([]byte, n))
+		return nil
+	case "ldpi":
+		if rest != "" && isIdent(rest) {
+			b.Ldpi(rest)
+			return nil
+		}
+		b.Op(isa.OpLdpi)
+		return nil
+	}
+
+	if fn, ok := isa.FunctionByMnemonic(mnem); ok && fn != isa.FnOpr {
+		return assembleOperand(b, fn, rest, line)
+	}
+	if op, ok := isa.OpByMnemonic(mnem); ok {
+		if rest != "" {
+			return fmt.Errorf("line %d: operation %s takes no operand", line, mnem)
+		}
+		b.Op(op)
+		return nil
+	}
+	return fmt.Errorf("line %d: unknown mnemonic %q", line, mnem)
+}
+
+func assembleOperand(b *Builder, fn isa.Function, rest string, line int) error {
+	if rest == "" {
+		return fmt.Errorf("line %d: %s needs an operand", line, fn.Mnemonic())
+	}
+	if isIdent(rest) {
+		b.Branch(fn, rest)
+		return nil
+	}
+	if i := strings.Index(rest, "-"); i > 0 {
+		a, c := strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+1:])
+		if isIdent(a) && isIdent(c) {
+			b.Diff(fn, a, c)
+			return nil
+		}
+	}
+	v, err := parseNumber(rest)
+	if err != nil {
+		return fmt.Errorf("line %d: %v", line, err)
+	}
+	b.Fn(fn, v)
+	return nil
+}
+
+func stripComment(line string) string {
+	// Character literals cannot contain comment markers in this
+	// assembler, so plain scanning suffices.
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "--"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseNumber accepts decimal, #hex (the paper's convention) and
+// quoted character literals.
+func parseNumber(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = strings.TrimSpace(s[1:])
+	}
+	var v int64
+	switch {
+	case strings.HasPrefix(s, "#"):
+		u, err := strconv.ParseUint(s[1:], 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad hex literal %q", s)
+		}
+		v = int64(u)
+	case len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'':
+		if len(s) != 3 {
+			return 0, fmt.Errorf("bad character literal %q", s)
+		}
+		v = int64(s[1])
+	default:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		v = n
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+// Checked and unchecked arithmetic.  Single length signed and single
+// length modulo arithmetic is directly supported (paper, 3.2.9);
+// checked operations set the error flag on overflow.
+
+// checkedAdd returns a+b, setting the error flag on signed overflow.
+func (m *Machine) checkedAdd(a, b uint64) uint64 {
+	r := (a + b) & m.mask
+	// Overflow when both operands share a sign that differs from the
+	// result's.
+	if (a^b)&m.signBit == 0 && (a^r)&m.signBit != 0 {
+		m.setError()
+	}
+	return r
+}
+
+// checkedSub returns a-b, setting the error flag on signed overflow.
+func (m *Machine) checkedSub(a, b uint64) uint64 {
+	r := (a - b) & m.mask
+	if (a^b)&m.signBit != 0 && (a^r)&m.signBit != 0 {
+		m.setError()
+	}
+	return r
+}
+
+// checkedMul returns a*b, setting the error flag on signed overflow.
+func (m *Machine) checkedMul(a, b uint64) uint64 {
+	sa, sb := m.signed(a), m.signed(b)
+	p := sa * sb
+	r := m.unsigned(p)
+	if m.signed(r) != p || (sa != 0 && p/sa != sb) {
+		m.setError()
+	}
+	return r
+}
+
+// checkedDiv returns b/a (truncated), setting the error flag on divide
+// by zero or MOSTNEG/-1 overflow.
+func (m *Machine) checkedDiv(b, a uint64) uint64 {
+	if a == 0 || (a == m.mask && b == m.signBit) {
+		m.setError()
+		return 0
+	}
+	return m.unsigned(m.signed(b) / m.signed(a))
+}
+
+// checkedRem returns b%a with the usual transputer conditions.
+func (m *Machine) checkedRem(b, a uint64) uint64 {
+	if a == 0 {
+		m.setError()
+		return 0
+	}
+	if a == m.mask && b == m.signBit {
+		return 0
+	}
+	return m.unsigned(m.signed(b) % m.signed(a))
+}
+
+// boolWord converts a condition to the truth values used by the
+// instruction set (1 = true, 0 = false).
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bitsOf returns the number of significant bits in v, used for the
+// product instruction's logarithmic timing.
+func bitsOf(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// longAdd returns b+a+carry with signed overflow checking.
+func (m *Machine) longAdd(b, a, carry uint64) uint64 {
+	r := (b + a + (carry & 1)) & m.mask
+	if (a^b)&m.signBit == 0 && (a^r)&m.signBit != 0 {
+		m.setError()
+	}
+	return r
+}
+
+// longSub returns b-a-borrow with signed overflow checking.
+func (m *Machine) longSub(b, a, borrow uint64) uint64 {
+	r := (b - a - (borrow & 1)) & m.mask
+	if (a^b)&m.signBit != 0 && (b^r)&m.signBit != 0 {
+		m.setError()
+	}
+	return r
+}
+
+// longSum returns the unchecked sum and carry of b+a+carry.
+func (m *Machine) longSum(b, a, carry uint64) (sum, carryOut uint64) {
+	full := b + a + (carry & 1) // cannot overflow uint64 for <=32-bit words
+	return full & m.mask, full >> uint(m.wordBits) & 1
+}
+
+// longDiff returns the unchecked difference and borrow of b-a-borrow.
+func (m *Machine) longDiff(b, a, borrow uint64) (diff, borrowOut uint64) {
+	full := b - a - (borrow & 1)
+	return full & m.mask, (full >> uint(m.wordBits)) & 1
+}
+
+// longMul returns the double-length unsigned product b*a+c as (lo, hi).
+func (m *Machine) longMul(b, a, c uint64) (lo, hi uint64) {
+	full := b*a + c // fits in uint64 for <=32-bit words
+	return full & m.mask, (full >> uint(m.wordBits)) & m.mask
+}
+
+// longDivStep divides the double-length unsigned value hi:lo by d,
+// returning quotient and remainder.  The error flag is set when the
+// quotient cannot be represented (hi >= d) or d is zero.
+func (m *Machine) longDivStep(hi, lo, d uint64) (q, r uint64) {
+	if d == 0 || hi >= d {
+		m.setError()
+		return 0, 0
+	}
+	full := hi<<uint(m.wordBits) | lo
+	return (full / d) & m.mask, (full % d) & m.mask
+}
+
+// longShiftLeft shifts the pair hi:lo left by n places.
+func (m *Machine) longShiftLeft(hi, lo uint64, n uint64) (loOut, hiOut uint64) {
+	if n >= uint64(2*m.wordBits) {
+		return 0, 0
+	}
+	full := hi<<uint(m.wordBits) | lo
+	full <<= uint(n)
+	return full & m.mask, (full >> uint(m.wordBits)) & m.mask
+}
+
+// longShiftRight shifts the pair hi:lo right by n places.
+func (m *Machine) longShiftRight(hi, lo uint64, n uint64) (loOut, hiOut uint64) {
+	if n >= uint64(2*m.wordBits) {
+		return 0, 0
+	}
+	full := hi<<uint(m.wordBits) | lo
+	full >>= uint(n)
+	return full & m.mask, (full >> uint(m.wordBits)) & m.mask
+}
+
+// normalise shifts the pair hi:lo left until the most significant bit
+// of hi is set, returning the shifted pair and the shift count.  A zero
+// value normalises to zero with a count of twice the word length.
+func (m *Machine) normalise(hi, lo uint64) (loOut, hiOut, places uint64) {
+	if hi == 0 && lo == 0 {
+		return 0, 0, uint64(2 * m.wordBits)
+	}
+	n := uint64(0)
+	for hi&m.signBit == 0 {
+		hi = (hi<<1 | lo>>uint(m.wordBits-1)) & m.mask
+		lo = lo << 1 & m.mask
+		n++
+	}
+	return lo, hi, n
+}

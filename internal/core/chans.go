@@ -1,0 +1,197 @@
+package core
+
+import "transputer/internal/isa"
+
+// Channel communication (paper, 3.2.10).
+//
+// A channel between processes on the same transputer is a single word
+// in memory; a channel between transputers is a link.  The input
+// message and output message instructions use the address of the
+// channel to decide which, "allowing a process to be written and
+// compiled without knowledge of where its channels are connected."
+//
+// A process prepares by loading a pointer to the buffer, the channel
+// identity and the byte count: C = pointer, B = channel, A = count.
+//
+// Communication takes place when both processes are ready: the first
+// process to become ready stores its descriptor in the channel word and
+// its buffer pointer in its workspace, then deschedules; the second
+// performs the copy and reschedules it.
+
+// commInlineCycleLimit is the largest communication cost charged within
+// a single uninterruptible step; longer transfers are finished as an
+// interruptible cycle burn so the priority-switch latency bound holds.
+const commInlineCycleLimit = 48
+
+// outputMessage implements the output message operation.
+func (m *Machine) outputMessage() int {
+	count := int(m.Areg)
+	chAddr := m.Breg
+	ptr := m.Creg
+	m.stats.MessagesOut++
+	if m.isEventChannel(chAddr) {
+		m.fault("output on the event channel", chAddr)
+		return 1
+	}
+	if link, isOut, ok := m.externalChannel(chAddr); ok {
+		if !isOut {
+			m.fault("output on input link channel", chAddr)
+			return 1
+		}
+		return m.externalTransfer(link, ptr, count, true)
+	}
+
+	chWord := m.word(chAddr)
+	w := m.wptr()
+	if chWord == m.notProcess() {
+		// First at the rendezvous: wait for the inputter.
+		m.setWord(chAddr, m.Wdesc)
+		m.setWordIndex(w, wsPointer, ptr)
+		m.blockOnComm()
+		return isa.CommunicationCycles(0, m.wordBits)
+	}
+
+	partnerW := wptrOf(chWord)
+	state := m.wordIndex(partnerW, wsState)
+	switch state {
+	case m.altEnabling(), m.altReady():
+		// The inputter is enabling or has already seen a ready guard:
+		// mark the channel ready and wait to be collected.
+		m.setWord(chAddr, m.Wdesc)
+		m.setWordIndex(w, wsPointer, ptr)
+		m.setWordIndex(partnerW, wsState, m.altReady())
+		m.blockOnComm()
+		return isa.CommunicationCycles(0, m.wordBits)
+	case m.altWaiting():
+		// The inputter is descheduled inside alt wait: wake it.
+		m.setWord(chAddr, m.Wdesc)
+		m.setWordIndex(w, wsPointer, ptr)
+		m.setWordIndex(partnerW, wsState, m.altReady())
+		m.wake(chWord)
+		m.blockOnComm()
+		return isa.CommunicationCycles(0, m.wordBits)
+	}
+
+	// The inputter is already waiting: copy the message to its buffer
+	// and reschedule it.
+	dst := m.wordIndex(partnerW, wsPointer)
+	m.copyBytes(dst, ptr, count)
+	m.setWord(chAddr, m.notProcess())
+	m.stats.BytesOut += uint64(count)
+	return m.completeTransfer(chWord, count)
+}
+
+// inputMessage implements the input message operation.
+func (m *Machine) inputMessage() int {
+	count := int(m.Areg)
+	chAddr := m.Breg
+	ptr := m.Creg
+	m.stats.MessagesIn++
+	if m.isEventChannel(chAddr) {
+		return m.eventInput()
+	}
+	if link, isOut, ok := m.externalChannel(chAddr); ok {
+		if isOut {
+			m.fault("input on output link channel", chAddr)
+			return 1
+		}
+		return m.externalTransfer(link, ptr, count, false)
+	}
+
+	chWord := m.word(chAddr)
+	w := m.wptr()
+	if chWord == m.notProcess() {
+		m.setWord(chAddr, m.Wdesc)
+		m.setWordIndex(w, wsPointer, ptr)
+		m.blockOnComm()
+		return isa.CommunicationCycles(0, m.wordBits)
+	}
+
+	// The outputter is waiting: copy from its buffer.
+	partnerW := wptrOf(chWord)
+	src := m.wordIndex(partnerW, wsPointer)
+	m.copyBytes(ptr, src, count)
+	m.setWord(chAddr, m.notProcess())
+	m.stats.BytesIn += uint64(count)
+	return m.completeTransfer(chWord, count)
+}
+
+// completeTransfer charges the communication cost and reschedules the
+// partner.  Costs beyond the inline limit are burned interruptibly, the
+// partner being rescheduled when the burn completes.
+func (m *Machine) completeTransfer(partner uint64, count int) int {
+	cost := isa.CommunicationCycles(count, m.wordBits)
+	if cost <= commInlineCycleLimit {
+		m.wake(partner)
+		return cost
+	}
+	m.longOp = &longOpState{
+		burnCycles: cost - commInlineCycleLimit,
+		onDone:     func() { m.wake(partner) },
+	}
+	return commInlineCycleLimit
+}
+
+// externalTransfer hands a message over to the link engine and
+// deschedules the process; the engine reschedules it when the last
+// byte is acknowledged.
+func (m *Machine) externalTransfer(link int, ptr uint64, count int, output bool) int {
+	if m.ext == nil {
+		m.fault("no link engine attached", uint64(link))
+		return 1
+	}
+	wdesc := m.Wdesc
+	done := func() { m.wake(wdesc) }
+	m.blockOnComm()
+	if output {
+		m.stats.ExternalOut++
+		m.stats.BytesOut += uint64(count)
+		m.ext.BeginOutput(link, ptr, count, done)
+	} else {
+		m.stats.ExternalIn++
+		m.stats.BytesIn += uint64(count)
+		m.ext.BeginInput(link, ptr, count, done)
+	}
+	return isa.CommunicationCycles(0, m.wordBits)
+}
+
+// outputShort implements output byte / output word: the value in B is
+// stored at workspace location 0, which then serves as the source
+// buffer of a size-byte output on channel A.
+func (m *Machine) outputShort(size int) int {
+	chAddr := m.Areg
+	value := m.Breg
+	w := m.wptr()
+	m.setWordIndex(w, 0, value)
+	m.Areg = uint64(size)
+	m.Breg = chAddr
+	m.Creg = m.index(w, 0)
+	return m.outputMessage()
+}
+
+// moveMessage implements the block move: A = count, B = destination,
+// C = source.  Large moves run as interruptible installments so a
+// priority switch can occur during execution.
+func (m *Machine) moveMessage() int {
+	count := int(m.Areg)
+	dst := m.Breg
+	src := m.Creg
+	if count <= 0 {
+		return isa.MoveCycles(0, m.wordBits)
+	}
+	cost := isa.MoveCycles(count, m.wordBits)
+	if cost <= commInlineCycleLimit {
+		m.copyBytes(dst, src, count)
+		return cost
+	}
+	m.longOp = &longOpState{src: src, dst: dst, remaining: count}
+	return 0
+}
+
+// copyBytes copies count bytes within machine memory, wrapping in the
+// address space.
+func (m *Machine) copyBytes(dst, src uint64, count int) {
+	for i := 0; i < count; i++ {
+		m.setByte((dst+uint64(i))&m.mask, m.byteAt((src+uint64(i))&m.mask))
+	}
+}

@@ -1,0 +1,133 @@
+// Package core implements the transputer processor described in "The
+// Transputer" (Whitby-Strevens, ISCA 1985): the I1 instruction set, the
+// three-register evaluation stack, the two-priority hardware scheduler,
+// occam channels as memory words, timers, and the alternative-input
+// mechanism — all with the paper's cycle accounting.
+package core
+
+import (
+	"fmt"
+
+	"transputer/internal/sim"
+)
+
+// Priority levels.  The paper numbers priority 0 as high and priority 1
+// as low ("a higher priority process always proceeds in preference to a
+// lower priority one").
+const (
+	PriorityHigh = 0
+	PriorityLow  = 1
+)
+
+// Config describes one transputer.
+type Config struct {
+	// Name labels the machine in traces and errors.
+	Name string
+	// WordBits is the processor word length: 32 for the T424, 16 for
+	// the T222.
+	WordBits int
+	// MemBytes is the total directly addressable memory, on-chip plus
+	// external.  The T424 has 4 KiB on chip.
+	MemBytes int
+	// CycleNs is the processor cycle time in nanoseconds (50 ns for a
+	// 20 MHz part).
+	CycleNs int
+	// TimesliceCycles is the period after which a low-priority process
+	// is moved to the back of its queue at the next descheduling point.
+	TimesliceCycles int
+	// HaltOnError stops the machine when the error flag is set.
+	HaltOnError bool
+	// HiTimerTickNs and LoTimerTickNs are the periods of the two
+	// priority clocks (1 µs and 64 µs on the first transputers).
+	HiTimerTickNs int
+	LoTimerTickNs int
+	// NoFetchBuffer models a processor without the two-word instruction
+	// fetch buffer: every instruction byte then costs an extra memory
+	// cycle.  Used by the ablation benchmarks; real transputers have
+	// the buffer (paper, 3.2.5).
+	NoFetchBuffer bool
+}
+
+// T424 returns the configuration of the IMS T424: 32 bits, 4 KiB
+// on-chip memory, 50 ns cycles.  Memory can be widened for programs
+// that assume external RAM.
+func T424() Config {
+	return Config{
+		Name:            "T424",
+		WordBits:        32,
+		MemBytes:        4 * 1024,
+		CycleNs:         50,
+		TimesliceCycles: 20480, // ~1 ms at 20 MHz
+		HiTimerTickNs:   1000,
+		LoTimerTickNs:   64000,
+	}
+}
+
+// T222 returns the configuration of the 16-bit IMS T222.
+func T222() Config {
+	c := T424()
+	c.Name = "T222"
+	c.WordBits = 16
+	return c
+}
+
+// WithMemory returns a copy of the configuration with the given memory
+// size, modelling off-chip extension of the address space.
+func (c Config) WithMemory(bytes int) Config {
+	c.MemBytes = bytes
+	return c
+}
+
+func (c Config) validate() error {
+	if c.WordBits != 16 && c.WordBits != 32 {
+		return fmt.Errorf("core: unsupported word length %d", c.WordBits)
+	}
+	bpw := c.WordBits / 8
+	if c.MemBytes < 64*bpw {
+		return fmt.Errorf("core: memory %d bytes too small", c.MemBytes)
+	}
+	if c.MemBytes%bpw != 0 {
+		return fmt.Errorf("core: memory size %d not word aligned", c.MemBytes)
+	}
+	maxMem := 1 << uint(c.WordBits)
+	if c.WordBits == 32 {
+		// Cap the simulated address space at 1 GiB to keep host memory
+		// use sane; the architectural space is 4 GiB.
+		maxMem = 1 << 30
+	}
+	if c.MemBytes > maxMem {
+		return fmt.Errorf("core: memory %d exceeds address space", c.MemBytes)
+	}
+	if c.CycleNs <= 0 {
+		return fmt.Errorf("core: cycle time must be positive")
+	}
+	return nil
+}
+
+// Clock is the machine's view of simulated time, provided by the
+// simulation driver.  At schedules a callback; Cancel revokes one.
+type Clock interface {
+	Now() sim.Time
+	At(t sim.Time, fn func()) sim.EventID
+	Cancel(id sim.EventID)
+}
+
+// NumLinks is the number of bidirectional links on the first
+// transputers.
+const NumLinks = 4
+
+// External is implemented by the link engine.  BeginOutput/BeginInput
+// are called when a process executes a message instruction on an
+// external channel; the process has already been descheduled, and the
+// engine must call done exactly once when the transfer completes.
+type External interface {
+	BeginOutput(link int, ptr uint64, count int, done func())
+	BeginInput(link int, ptr uint64, count int, done func())
+	// EnableInput arms alternative-input signalling on a link: ready is
+	// called once when input data becomes available.  It returns true
+	// if data is already buffered (the guard is immediately ready).
+	EnableInput(link int, ready func()) bool
+	// DisableInput disarms signalling and reports whether input data is
+	// available.
+	DisableInput(link int) bool
+}

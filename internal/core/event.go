@@ -1,0 +1,62 @@
+package core
+
+// The event channel (the ninth reserved word, after the link channels)
+// lets external hardware signal a process: "the equivalent of an
+// interrupt (a high priority process being scheduled in order to
+// respond to an external stimulus) is designed entirely in occam, as
+// all input and output is formalized as channel communication" (paper,
+// 2.2.2).  A process inputs from the event channel; RaiseEvent, called
+// by the simulation environment, completes that input (or is latched
+// until one arrives).  No data is transferred.
+
+// RaiseEvent signals the event pin.  If a process is waiting on the
+// event channel it becomes ready (preempting a lower-priority process
+// as any wakeup does); otherwise the event is latched.
+func (m *Machine) RaiseEvent() {
+	if m.eventWaiter != m.notProcess() {
+		w := m.eventWaiter
+		m.eventWaiter = m.notProcess()
+		m.wake(w)
+		return
+	}
+	if m.eventArmed != nil {
+		ready := m.eventArmed
+		m.eventArmed = nil
+		m.eventPending = true
+		ready()
+		return
+	}
+	m.eventPending = true
+}
+
+// eventInput implements input message on the event channel: the count
+// is ignored and no data moves.
+func (m *Machine) eventInput() int {
+	if m.eventPending {
+		m.eventPending = false
+		return 24
+	}
+	m.eventWaiter = m.Wdesc
+	m.blockOnComm()
+	return 24
+}
+
+// eventEnable arms alternative-input readiness on the event channel.
+func (m *Machine) eventEnable(ready func()) bool {
+	if m.eventPending {
+		return true
+	}
+	m.eventArmed = ready
+	return false
+}
+
+// eventDisable disarms and reports readiness.
+func (m *Machine) eventDisable() bool {
+	m.eventArmed = nil
+	return m.eventPending
+}
+
+// isEventChannel reports whether addr is the event channel word.
+func (m *Machine) isEventChannel(addr uint64) bool {
+	return addr == m.EventAddr()
+}

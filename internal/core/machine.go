@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"transputer/internal/sim"
+)
+
+// Machine is one transputer: processor state, memory and scheduler.
+// All methods must be called from the single simulation goroutine.
+type Machine struct {
+	cfg      Config
+	wordBits int
+	bpw      int    // bytes per word
+	mask     uint64 // word mask
+	signBit  uint64 // MOSTNEG as an unsigned word
+
+	mem []byte
+
+	// The six registers used in the execution of a sequential process
+	// (paper, figure 2).
+	Iptr             uint64 // instruction pointer
+	Wdesc            uint64 // workspace pointer with priority in bit 0
+	Areg, Breg, Creg uint64 // evaluation stack
+	Oreg             uint64 // operand register
+
+	// Scheduling lists: front and back pointers per priority (paper,
+	// figure 3).  notProcess marks an empty list.
+	Fptr, Bptr [2]uint64
+
+	// Timer queues: head workspace per priority, threaded through
+	// wsTLink.
+	Tptr        [2]uint64
+	timerEvent  sim.EventID
+	clockOffset [2]uint64
+
+	// Saved low-priority state while a high-priority process runs
+	// (modelling the reserved register save locations).
+	savedLow struct {
+		valid                   bool
+		Iptr, Wdesc, A, B, C, O uint64
+		longOp                  *longOpState
+	}
+
+	errorFlag bool
+	haltErr   bool // halt-on-error flag
+	halted    bool
+	faulted   *MemoryFault
+
+	clock Clock
+	ext   External
+
+	// onReady is invoked when the machine transitions from idle (no
+	// current process) to having work; the driver uses it to resume
+	// stepping.
+	onReady func()
+
+	// preemptPending is set when a high-priority process became ready
+	// while a low-priority one was executing; honoured at the next
+	// instruction boundary.
+	preemptPending bool
+
+	// pendingSwitchCycles accumulates scheduler charges (preemption
+	// save, low-priority resume) to be added to the next step.
+	pendingSwitchCycles int
+
+	// timesliceCount accumulates cycles since the current low-priority
+	// process was dispatched.
+	timesliceCount int
+
+	// longOp holds the state of an interruptible multi-cycle operation
+	// (block move) executed in installments so that a priority switch
+	// can occur during it (paper, 3.2.4).
+	longOp *longOpState
+
+	loadedCodeBytes int
+	entryWptr       uint64
+
+	trace Trace
+
+	// Event channel state (paper 2.2.2): a latched pending signal, a
+	// process blocked inputting, or an armed alternative.
+	eventPending bool
+	eventWaiter  uint64
+	eventArmed   func()
+
+	// waiting counts processes blocked on channels, timers, events or
+	// stop, for deadlock diagnostics.
+	waiting int
+
+	stats Stats
+}
+
+// longOpState is an in-progress interruptible long operation: either a
+// block move (remaining > 0) or a cycle burn modelling the tail of a
+// long message communication (burnCycles > 0).
+type longOpState struct {
+	src, dst  uint64
+	remaining int
+	// overheadCharged reports whether the fixed part of the move cost
+	// has been charged yet.
+	overheadCharged bool
+	burnCycles      int
+	// onDone runs when the operation completes (e.g. rescheduling the
+	// communication partner).
+	onDone func()
+}
+
+// longOpChunkBytes bounds the uninterruptible portion of a block move;
+// it is sized so the low-to-high priority switch stays within the
+// paper's 58-cycle bound.
+const longOpChunkBytes = 64
+
+// notProcess is the minimum integer, used as the "no process" marker in
+// channel words and list pointers.
+func (m *Machine) notProcess() uint64 { return m.signBit }
+
+// ALT state markers (stored in the wsState slot).
+func (m *Machine) altEnabling() uint64 { return (m.signBit + 1) & m.mask }
+func (m *Machine) altWaiting() uint64  { return (m.signBit + 2) & m.mask }
+func (m *Machine) altReady() uint64    { return (m.signBit + 3) & m.mask }
+
+// Timer ALT state markers (stored in the wsTLink slot).
+func (m *Machine) timeSet() uint64    { return (m.signBit + 1) & m.mask }
+func (m *Machine) timeNotSet() uint64 { return (m.signBit + 2) & m.mask }
+
+// noneSelected marks an alternative with no selected branch yet.
+func (m *Machine) noneSelected() uint64 { return m.mask } // -1
+
+// New builds a machine from a configuration.  The machine has no clock
+// or link engine attached; Attach must be called before Run when timers
+// or links are used.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		wordBits: cfg.WordBits,
+		bpw:      cfg.WordBits / 8,
+		mem:      make([]byte, cfg.MemBytes),
+	}
+	m.mask = (uint64(1) << uint(cfg.WordBits)) - 1
+	m.signBit = uint64(1) << uint(cfg.WordBits-1)
+	m.resetSchedState()
+	return m, nil
+}
+
+// MustNew is New for tests and examples with known-good configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Machine) resetSchedState() {
+	np := m.notProcess()
+	m.Wdesc = np
+	m.Iptr = 0
+	m.Areg, m.Breg, m.Creg, m.Oreg = 0, 0, 0, 0
+	for p := 0; p < 2; p++ {
+		m.Fptr[p] = np
+		m.Bptr[p] = np
+		m.Tptr[p] = np
+	}
+	for w := 0; w < wordEvent+1; w++ {
+		m.setWordIndex(m.addrOf(0), w, np)
+	}
+	m.savedLow.valid = false
+	m.preemptPending = false
+	m.pendingSwitchCycles = 0
+	m.longOp = nil
+	m.halted = false
+	m.errorFlag = false
+	m.faulted = nil
+	m.eventPending = false
+	m.eventWaiter = np
+	m.eventArmed = nil
+	m.waiting = 0
+}
+
+// Attach provides the simulated clock and, optionally, the link engine.
+func (m *Machine) Attach(clock Clock, ext External) {
+	m.clock = clock
+	m.ext = ext
+}
+
+// OnReady registers the idle-to-ready callback used by the driver.
+func (m *Machine) OnReady(fn func()) { m.onReady = fn }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Name returns the machine's label.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// WordBits returns the word length in bits.
+func (m *Machine) WordBits() int { return m.wordBits }
+
+// BytesPerWord returns the word length in bytes.
+func (m *Machine) BytesPerWord() int { return m.bpw }
+
+// Halted reports whether the machine has stopped (halt-on-error or a
+// simulator-detected memory fault).
+func (m *Machine) Halted() bool { return m.halted }
+
+// ErrorFlag reports the state of the error flag.
+func (m *Machine) ErrorFlag() bool { return m.errorFlag }
+
+// Fault returns the first memory fault, if any.
+func (m *Machine) Fault() error {
+	if m.faulted == nil {
+		return nil
+	}
+	return m.faulted
+}
+
+// Idle reports whether no process is executing.  An idle machine may
+// still be waiting on timers or links.
+func (m *Machine) Idle() bool { return m.Wdesc == m.notProcess() || m.halted }
+
+// Stats returns a copy of the machine's counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// now returns the current simulated time, or zero when no clock is
+// attached (pure cycle-counting runs).
+func (m *Machine) now() sim.Time {
+	if m.clock == nil {
+		return 0
+	}
+	return m.clock.Now()
+}
+
+func (m *Machine) setError() {
+	m.errorFlag = true
+	if m.cfg.HaltOnError || m.haltErr {
+		m.halted = true
+	}
+}
+
+// signed interprets a word value as a signed integer.
+func (m *Machine) signed(v uint64) int64 {
+	v &= m.mask
+	if v&m.signBit != 0 {
+		return int64(v | ^m.mask)
+	}
+	return int64(v)
+}
+
+// unsigned masks a host value to a word.
+func (m *Machine) unsigned(v int64) uint64 { return uint64(v) & m.mask }
+
+// later implements the transputer's modular AFTER comparison: a AFTER b
+// when (a-b) interpreted as a signed word is positive.
+func (m *Machine) later(a, b uint64) bool {
+	return m.signed((a-b)&m.mask) > 0
+}
+
+// Image is a loadable program produced by the assembler or the occam
+// compiler.
+type Image struct {
+	// Code is the instruction stream, loaded at MemStart.
+	Code []byte
+	// Entry is the byte offset of the first instruction within Code.
+	Entry int
+	// DataBytes reserves zeroed space after the code image (vector
+	// space for arrays placed outside workspaces).
+	DataBytes int
+	// WsBelow is the workspace requirement, in words, below the initial
+	// workspace pointer: call frames, PAR component workspaces and the
+	// five scheduler slots.
+	WsBelow int
+	// WsAbove is the number of local-variable words at and above the
+	// initial workspace pointer.
+	WsAbove int
+}
+
+// CodeStart returns the address code is loaded at.
+func (m *Machine) CodeStart() uint64 { return m.MemStart() }
+
+// DataStart returns the address of the reserved data area for the
+// loaded image.
+func (m *Machine) DataStart() uint64 {
+	return m.index(m.MemStart(), (m.loadedCodeBytes+m.bpw-1)/m.bpw)
+}
+
+var errNoRoom = fmt.Errorf("core: program does not fit in memory")
+
+// Load places the image in memory and creates the initial process at
+// low priority, mirroring the hardware boot convention.
+func (m *Machine) Load(img Image) error {
+	m.resetSchedState()
+	codeStart := m.MemStart()
+	codeWords := (len(img.Code) + m.bpw - 1) / m.bpw
+	dataWords := (img.DataBytes + m.bpw - 1) / m.bpw
+	wsBase := int(m.offset(codeStart))/m.bpw + codeWords + dataWords
+	wptrWord := wsBase + img.WsBelow + 5 // room for scheduler slots below
+	topWord := wptrWord + img.WsAbove
+	if topWord*m.bpw > len(m.mem) {
+		return fmt.Errorf("%w: need %d words, have %d",
+			errNoRoom, topWord, len(m.mem)/m.bpw)
+	}
+	m.loadedCodeBytes = len(img.Code)
+	m.WriteBytes(codeStart, img.Code)
+	wptr := m.addrOf(uint64(wptrWord * m.bpw))
+	m.entryWptr = wptr
+	m.Wdesc = wptr | PriorityLow
+	m.Iptr = m.index(codeStart, 0) + uint64(img.Entry)
+	m.stats.CodeBytes = len(img.Code)
+	return nil
+}
+
+// EntryWptr returns the initial workspace pointer established by Load;
+// tests and tools use it to locate the program's local variables.
+func (m *Machine) EntryWptr() uint64 { return m.entryWptr }
+
+// Local reads local variable n of the entry workspace.
+func (m *Machine) Local(n int) uint64 {
+	return m.word(m.index(m.entryWptr, n))
+}
+
+// StartProcess enqueues an additional process with the given workspace
+// pointer, instruction pointer and priority; used by loaders that build
+// multi-process systems directly (the occam compiler instead emits
+// start process instructions).
+func (m *Machine) StartProcess(wptr, iptr uint64, priority int) {
+	wdesc := (wptr &^ 1) | uint64(priority)
+	m.setWordIndex(wptr&^1, wsIptr, iptr)
+	m.schedule(wdesc)
+}

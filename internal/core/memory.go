@@ -1,0 +1,195 @@
+package core
+
+import "fmt"
+
+// The memory address space comprises a signed linear address space
+// (paper, 3.2.2).  A pointer is a word address plus a byte selector in
+// its least significant bits.  Addresses start at the most negative
+// integer, so the unsigned offset of an address is obtained by flipping
+// the sign bit.
+//
+// The first words of memory are reserved, in order: the four link output
+// channel words, the four link input channel words, and the event
+// channel word; the remainder of the reserved area is the register save
+// space used on priority switches.  MemStart is the first word available
+// to programs.
+
+// Reserved word indices from MOSTNEG.
+const (
+	wordLink0Out = 0
+	wordLink0In  = 4
+	wordEvent    = 8
+	// reservedWords is the size of the whole reserved area.
+	reservedWords = 16
+)
+
+// Workspace slots below the workspace pointer, in words (the standard
+// transputer layout).
+const (
+	wsIptr    = -1 // saved instruction pointer of a descheduled process
+	wsLink    = -2 // next process on the scheduling list
+	wsState   = -3 // ALT state, or the message pointer while blocked
+	wsPointer = -3 // alias: saved buffer pointer
+	wsTLink   = -4 // timer queue link / timer ALT state
+	wsTime    = -5 // wakeup time
+)
+
+// A MemoryFault describes an out-of-range or misaligned access.  The
+// real processor performs no access checking ("there is also no need for
+// the hardware to perform access checking on every memory reference");
+// the simulator reports the fault, sets the error flag and halts so that
+// bugs surface instead of corrupting the simulation.
+type MemoryFault struct {
+	Machine string
+	Op      string
+	Addr    uint64
+}
+
+func (f *MemoryFault) Error() string {
+	return fmt.Sprintf("%s: memory fault: %s at address %#x", f.Machine, f.Op, f.Addr)
+}
+
+// offset converts a machine address into an index into the memory array:
+// flipping the sign bit maps MOSTNEG..MOSTPOS onto 0..2^w-1.
+func (m *Machine) offset(addr uint64) uint64 {
+	return (addr ^ m.signBit) & m.mask
+}
+
+// addrOf converts a memory array index back into a machine address.
+func (m *Machine) addrOf(offset uint64) uint64 {
+	return (offset ^ m.signBit) & m.mask
+}
+
+// MemStart returns the first program-usable address.
+func (m *Machine) MemStart() uint64 {
+	return m.addrOf(uint64(reservedWords * m.bpw))
+}
+
+// MemTop returns the first address beyond implemented memory.
+func (m *Machine) MemTop() uint64 {
+	return m.addrOf(uint64(len(m.mem))) // may wrap; callers compare offsets
+}
+
+// LinkOutAddr returns the channel address of link i's output channel.
+func (m *Machine) LinkOutAddr(i int) uint64 {
+	return m.addrOf(uint64((wordLink0Out + i) * m.bpw))
+}
+
+// LinkInAddr returns the channel address of link i's input channel.
+func (m *Machine) LinkInAddr(i int) uint64 {
+	return m.addrOf(uint64((wordLink0In + i) * m.bpw))
+}
+
+// EventAddr returns the event channel address.
+func (m *Machine) EventAddr() uint64 {
+	return m.addrOf(uint64(wordEvent * m.bpw))
+}
+
+// externalChannel reports whether addr is a link channel word, and which
+// link and direction it selects.
+func (m *Machine) externalChannel(addr uint64) (link int, output bool, ok bool) {
+	off := m.offset(addr)
+	w := int(off) / m.bpw
+	if off%uint64(m.bpw) != 0 || w >= wordEvent {
+		return 0, false, false
+	}
+	if w >= wordLink0In {
+		return w - wordLink0In, false, true
+	}
+	return w, true, true
+}
+
+func (m *Machine) fault(op string, addr uint64) {
+	if m.faulted == nil {
+		m.faulted = &MemoryFault{Machine: m.cfg.Name, Op: op, Addr: addr}
+	}
+	m.setError()
+	m.halted = true
+}
+
+// word reads the word at a word-aligned address.
+func (m *Machine) word(addr uint64) uint64 {
+	off := m.offset(addr)
+	if off%uint64(m.bpw) != 0 || off+uint64(m.bpw) > uint64(len(m.mem)) {
+		m.fault("read word", addr)
+		return 0
+	}
+	var v uint64
+	for i := m.bpw - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.mem[off+uint64(i)])
+	}
+	return v
+}
+
+// setWord writes the word at a word-aligned address.
+func (m *Machine) setWord(addr, v uint64) {
+	off := m.offset(addr)
+	if off%uint64(m.bpw) != 0 || off+uint64(m.bpw) > uint64(len(m.mem)) {
+		m.fault("write word", addr)
+		return
+	}
+	for i := 0; i < m.bpw; i++ {
+		m.mem[off+uint64(i)] = byte(v)
+		v >>= 8
+	}
+}
+
+// byteAt reads the byte at any address.
+func (m *Machine) byteAt(addr uint64) byte {
+	off := m.offset(addr)
+	if off >= uint64(len(m.mem)) {
+		m.fault("read byte", addr)
+		return 0
+	}
+	return m.mem[off]
+}
+
+// setByte writes the byte at any address.
+func (m *Machine) setByte(addr uint64, v byte) {
+	off := m.offset(addr)
+	if off >= uint64(len(m.mem)) {
+		m.fault("write byte", addr)
+		return
+	}
+	m.mem[off] = v
+}
+
+// wordIndex reads the word at base + i words.
+func (m *Machine) wordIndex(base uint64, i int) uint64 {
+	return m.word(m.index(base, i))
+}
+
+// setWordIndex writes the word at base + i words.
+func (m *Machine) setWordIndex(base uint64, i int, v uint64) {
+	m.setWord(m.index(base, i), v)
+}
+
+// index computes base + i words, wrapping in the word-sized address
+// space.
+func (m *Machine) index(base uint64, i int) uint64 {
+	return (base + uint64(int64(i)*int64(m.bpw))) & m.mask
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice; used by
+// the link engine and by tests.
+func (m *Machine) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.byteAt((addr + uint64(i)) & m.mask)
+	}
+	return out
+}
+
+// WriteBytes stores b starting at addr; used by the link engine, the
+// loader and tests.
+func (m *Machine) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.setByte((addr+uint64(i))&m.mask, v)
+	}
+}
+
+// ReadWord exposes word for inspection by tests and tools.
+func (m *Machine) ReadWord(addr uint64) uint64 { return m.word(addr) }
+
+// WriteWord exposes setWord for loaders and tests.
+func (m *Machine) WriteWord(addr, v uint64) { m.setWord(addr, v) }

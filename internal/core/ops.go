@@ -1,0 +1,428 @@
+package core
+
+import "transputer/internal/isa"
+
+// execOp executes one indirect operation and returns its cycle cost.
+func (m *Machine) execOp(op isa.Op) int {
+	if cycles, fixed := isa.OpCycles(op, m.wordBits); fixed {
+		m.execFixedOp(op)
+		return cycles
+	}
+	return m.execVariableOp(op)
+}
+
+// execFixedOp handles operations whose cost is a constant.
+func (m *Machine) execFixedOp(op isa.Op) {
+	w := m.wptr()
+	switch op {
+	case isa.OpRev:
+		m.Areg, m.Breg = m.Breg, m.Areg
+
+	// --- arithmetic and logic -------------------------------------
+	case isa.OpAdd:
+		b, a := m.popPair()
+		m.push2(m.checkedAdd(b, a))
+	case isa.OpSub:
+		b, a := m.popPair()
+		m.push2(m.checkedSub(b, a))
+	case isa.OpMul:
+		b, a := m.popPair()
+		m.push2(m.checkedMul(b, a))
+	case isa.OpDiv:
+		b, a := m.popPair()
+		m.push2(m.checkedDiv(b, a))
+	case isa.OpRem:
+		b, a := m.popPair()
+		m.push2(m.checkedRem(b, a))
+	case isa.OpSum:
+		b, a := m.popPair()
+		m.push2((b + a) & m.mask)
+	case isa.OpDiff:
+		b, a := m.popPair()
+		m.push2((b - a) & m.mask)
+	case isa.OpAnd:
+		b, a := m.popPair()
+		m.push2(b & a)
+	case isa.OpOr:
+		b, a := m.popPair()
+		m.push2(b | a)
+	case isa.OpXor:
+		b, a := m.popPair()
+		m.push2(b ^ a)
+	case isa.OpNot:
+		m.Areg = ^m.Areg & m.mask
+	case isa.OpGt:
+		b, a := m.popPair()
+		m.push2(boolWord(m.signed(b) > m.signed(a)))
+	case isa.OpMint:
+		m.push(m.signBit)
+
+	// --- long arithmetic ------------------------------------------
+	case isa.OpLadd:
+		a := m.pop()
+		b := m.pop()
+		carry := m.Areg // old C now in A
+		m.Areg = m.longAdd(b, a, carry)
+	case isa.OpLsub:
+		a := m.pop()
+		b := m.pop()
+		borrow := m.Areg
+		m.Areg = m.longSub(b, a, borrow)
+	case isa.OpLsum:
+		a := m.pop()
+		b := m.pop()
+		carry := m.Areg
+		sum, carryOut := m.longSum(b, a, carry)
+		m.Areg = sum
+		m.Breg = carryOut
+	case isa.OpLdiff:
+		a := m.pop()
+		b := m.pop()
+		borrow := m.Areg
+		diff, borrowOut := m.longDiff(b, a, borrow)
+		m.Areg = diff
+		m.Breg = borrowOut
+	case isa.OpLmul:
+		a := m.pop()
+		b := m.pop()
+		c := m.Areg
+		lo, hi := m.longMul(b, a, c)
+		m.Areg = lo
+		m.Breg = hi
+	case isa.OpLdiv:
+		d := m.pop()  // divisor in A
+		hi := m.pop() // high word in B
+		lo := m.Areg  // low word in C
+		q, r := m.longDivStep(hi, lo, d)
+		m.Areg = q
+		m.Breg = r
+	case isa.OpXdble:
+		// Extend A to a double: A stays the low word, the sign word is
+		// pushed as the new B.
+		sign := uint64(0)
+		if m.Areg&m.signBit != 0 {
+			sign = m.mask
+		}
+		m.Creg = m.Breg
+		m.Breg = sign
+	case isa.OpCsngl:
+		// Check the double A(lo),B(hi) fits a single word.
+		lo, hi := m.Areg, m.Breg
+		sign := uint64(0)
+		if lo&m.signBit != 0 {
+			sign = m.mask
+		}
+		if hi != sign {
+			m.setError()
+		}
+		m.Breg = m.Creg
+	case isa.OpXword:
+		// A holds the sign-bit value of the narrower type; B holds the
+		// value to extend.
+		v, bit := m.popPair()
+		if v&bit != 0 {
+			v |= ^(bit - 1) & m.mask
+			v |= bit
+		} else {
+			v &= bit - 1
+		}
+		m.push2(v & m.mask)
+	case isa.OpCword:
+		v, bit := m.popPair()
+		low := v & (bit - 1)
+		signSet := v&bit != 0
+		ext := low
+		if signSet {
+			ext = low | bit | (^(bit - 1) & m.mask)
+		}
+		if ext != v {
+			m.setError()
+		}
+		m.push2(v)
+
+	// --- pointers and subscripts ----------------------------------
+	case isa.OpBsub:
+		b, a := m.popPair()
+		m.push2((b + a) & m.mask)
+	case isa.OpWsub:
+		// The compiler loads the index, then the base: A = base,
+		// B = index.
+		index, base := m.popPair()
+		m.push2(m.index(base, int(m.signed(index))))
+	case isa.OpBcnt:
+		m.Areg = m.Areg * uint64(m.bpw) & m.mask
+	case isa.OpWcnt:
+		sel := m.Areg & uint64(m.bpw-1)
+		word := m.unsigned(m.signed(m.Areg) >> uint(m.byteSelectorBits()))
+		m.Areg = word
+		m.Creg = m.Breg
+		m.Breg = sel
+	case isa.OpLb:
+		m.Areg = uint64(m.byteAt(m.Areg))
+	case isa.OpSb:
+		// A = address, B = value; both are consumed.
+		addr, v := m.Areg, m.Breg
+		m.setByte(addr, byte(v))
+		m.Areg = m.Creg
+	case isa.OpLdpi:
+		m.Areg = (m.Iptr + m.Areg) & m.mask
+
+	// --- checks -----------------------------------------------------
+	case isa.OpCsub0:
+		// A = bound, B = index; the bound is consumed.
+		index, bound := m.popPair()
+		if index >= bound {
+			m.setError()
+		}
+		m.push2(index)
+	case isa.OpCcnt1:
+		// A = bound, B = count; the bound is consumed.
+		count, bound := m.popPair()
+		if count == 0 || count > bound {
+			m.setError()
+		}
+		m.push2(count)
+
+	// --- control ----------------------------------------------------
+	case isa.OpRet:
+		m.Iptr = m.wordIndex(w, 0)
+		m.Wdesc = m.index(w, 4) | uint64(m.CurrentPriority())
+	case isa.OpGcall:
+		m.Areg, m.Iptr = m.Iptr, m.Areg
+	case isa.OpGajw:
+		old := w
+		m.Wdesc = (m.Areg &^ uint64(m.bpw-1)) | uint64(m.CurrentPriority())
+		m.Areg = old
+
+	// --- scheduler ----------------------------------------------------
+	case isa.OpStartp:
+		// A new workspace is added to the end of the scheduling list
+		// (paper 3.2.4).  A holds the new workspace pointer, B the code
+		// offset of the new process.
+		off, newW := m.popPair()
+		m.Areg = m.Creg // both operands consumed
+		newW &^= uint64(m.bpw - 1)
+		m.setWordIndex(newW, wsIptr, (m.Iptr+off)&m.mask)
+		m.schedule(newW | uint64(m.CurrentPriority()))
+	case isa.OpEndp:
+		// A points to the workspace holding the component counter: when
+		// it reaches zero the continuation proceeds (paper 3.2.4).
+		blk := m.Areg &^ uint64(m.bpw-1)
+		count := m.wordIndex(blk, 1)
+		count = (count - 1) & m.mask
+		if count == 0 {
+			m.Wdesc = blk | uint64(m.CurrentPriority())
+			m.Iptr = m.wordIndex(blk, 0)
+			m.Oreg = 0
+		} else {
+			m.setWordIndex(blk, 1, count)
+			m.deschedule()
+		}
+	case isa.OpStopp:
+		m.blockCurrent()
+	case isa.OpRunp:
+		wdesc := m.pop()
+		m.wake(wdesc)
+	case isa.OpLdpri:
+		m.push(uint64(m.CurrentPriority()))
+
+	// --- error handling ----------------------------------------------
+	case isa.OpSeterr:
+		m.setError()
+	case isa.OpTesterr:
+		m.push(boolWord(!m.errorFlag))
+		m.errorFlag = false
+	case isa.OpStoperr:
+		if m.errorFlag {
+			m.blockCurrent()
+		}
+	case isa.OpClrhalterr:
+		m.haltErr = false
+	case isa.OpSethalterr:
+		m.haltErr = true
+	case isa.OpTesthalterr:
+		m.push(boolWord(m.haltErr))
+
+	// --- channels and timers (fixed-cost parts) ----------------------
+	case isa.OpResetch:
+		ch := m.Areg
+		m.Areg = m.word(ch)
+		m.setWord(ch, m.notProcess())
+	case isa.OpLdtimer:
+		m.push(m.clockValue(m.CurrentPriority()))
+	case isa.OpSttimer:
+		m.startTimers(m.pop())
+	case isa.OpAlt:
+		m.setWordIndex(w, wsState, m.altEnabling())
+	case isa.OpTalt:
+		m.setWordIndex(w, wsState, m.altEnabling())
+		m.setWordIndex(w, wsTLink, m.timeNotSet())
+	case isa.OpAltend:
+		m.Iptr = (m.Iptr + m.wordIndex(w, 0)) & m.mask
+	case isa.OpEnbc:
+		m.enableChannel()
+	case isa.OpDisc:
+		m.disableChannel()
+	case isa.OpEnbs:
+		// A = guard; a ready SKIP guard makes the alternative ready.
+		if m.Areg != 0 {
+			m.setWordIndex(w, wsState, m.altReady())
+		}
+	case isa.OpDiss:
+		// A = guard, B = jump offset.
+		off, guard := m.popPair()
+		fired := guard != 0 && m.wordIndex(w, 0) == m.noneSelected()
+		if fired {
+			m.setWordIndex(w, 0, off)
+		}
+		m.push2(boolWord(fired))
+	case isa.OpEnbt:
+		m.enableTimer()
+	case isa.OpDist:
+		m.disableTimer()
+
+	// --- queue register access ----------------------------------------
+	case isa.OpSthf:
+		m.Fptr[PriorityHigh] = m.pop()
+	case isa.OpSthb:
+		m.Bptr[PriorityHigh] = m.pop()
+	case isa.OpStlf:
+		m.Fptr[PriorityLow] = m.pop()
+	case isa.OpStlb:
+		m.Bptr[PriorityLow] = m.pop()
+	case isa.OpSaveh:
+		addr := m.pop()
+		m.setWordIndex(addr, 0, m.Fptr[PriorityHigh])
+		m.setWordIndex(addr, 1, m.Bptr[PriorityHigh])
+	case isa.OpSavel:
+		addr := m.pop()
+		m.setWordIndex(addr, 0, m.Fptr[PriorityLow])
+		m.setWordIndex(addr, 1, m.Bptr[PriorityLow])
+
+	default:
+		// An operation with a fixed cost must be handled above;
+		// reaching here is a simulator bug.
+		m.fault("unimplemented operation", uint64(op))
+	}
+}
+
+// execVariableOp handles operations whose cost depends on their
+// operands or on machine state, returning the cycles consumed.
+func (m *Machine) execVariableOp(op isa.Op) int {
+	switch op {
+	case isa.OpIn:
+		return m.inputMessage()
+	case isa.OpOut:
+		return m.outputMessage()
+	case isa.OpOutbyte:
+		return m.outputShort(1)
+	case isa.OpOutword:
+		return m.outputShort(m.bpw)
+	case isa.OpMove:
+		return m.moveMessage()
+	case isa.OpShl:
+		b, a := m.popPair()
+		n := a & m.mask
+		if n >= uint64(m.wordBits) {
+			m.push2(0)
+		} else {
+			m.push2(b << uint(n) & m.mask)
+		}
+		return isa.ShiftCycles(int(minU64(n, uint64(m.wordBits))))
+	case isa.OpShr:
+		b, a := m.popPair()
+		n := a & m.mask
+		if n >= uint64(m.wordBits) {
+			m.push2(0)
+		} else {
+			m.push2(b >> uint(n))
+		}
+		return isa.ShiftCycles(int(minU64(n, uint64(m.wordBits))))
+	case isa.OpLshl:
+		n := m.pop()
+		hi := m.pop()
+		lo := m.Areg
+		loOut, hiOut := m.longShiftLeft(hi, lo, minU64(n, uint64(2*m.wordBits)))
+		m.Areg = loOut
+		m.Breg = hiOut
+		return isa.LongShiftCycles(int(minU64(n, uint64(2*m.wordBits))))
+	case isa.OpLshr:
+		n := m.pop()
+		hi := m.pop()
+		lo := m.Areg
+		loOut, hiOut := m.longShiftRight(hi, lo, minU64(n, uint64(2*m.wordBits)))
+		m.Areg = loOut
+		m.Breg = hiOut
+		return isa.LongShiftCycles(int(minU64(n, uint64(2*m.wordBits))))
+	case isa.OpProd:
+		b, a := m.popPair()
+		m.push2(b * a & m.mask)
+		return isa.ProdCycles(bitsOf(a))
+	case isa.OpNorm:
+		// A = low word, B = high word.
+		lo := m.pop()
+		hi := m.Areg
+		loOut, hiOut, places := m.normalise(hi, lo)
+		m.Areg = loOut
+		m.Breg = hiOut
+		m.Creg = places
+		return isa.NormCycles(int(places))
+	case isa.OpLend:
+		return m.loopEnd()
+	case isa.OpAltwt:
+		return m.altWait()
+	case isa.OpTaltwt:
+		return m.timerAltWait()
+	case isa.OpTin:
+		return m.timerInput()
+	}
+	m.fault("unimplemented operation", uint64(op))
+	return 1
+}
+
+// popPair pops B and A for a dyadic operation (returning them in
+// operand order: B first).
+func (m *Machine) popPair() (b, a uint64) {
+	a = m.Areg
+	b = m.Breg
+	return b, a
+}
+
+// push2 completes a dyadic operation: the result replaces A and B, and
+// C is copied into B ("the add instruction adds the A and B registers,
+// places the result in the A register, and copies C into B").
+func (m *Machine) push2(v uint64) {
+	m.Areg = v & m.mask
+	m.Breg = m.Creg
+}
+
+func (m *Machine) byteSelectorBits() int {
+	if m.bpw == 2 {
+		return 1
+	}
+	return 2
+}
+
+// loopEnd implements the replicated-SEQ loop instruction: B points to a
+// two-word control block (index, remaining count), A is the backward
+// distance to the loop start.
+func (m *Machine) loopEnd() int {
+	back, blk := m.Areg, m.Breg
+	count := (m.wordIndex(blk, 1) - 1) & m.mask
+	m.setWordIndex(blk, 1, count)
+	if m.signed(count) > 0 {
+		m.setWordIndex(blk, 0, (m.wordIndex(blk, 0)+1)&m.mask)
+		m.Iptr = (m.Iptr - back) & m.mask
+		// A descheduling point, like jump.
+		m.timesliceCheck()
+		return isa.LendCycles(true)
+	}
+	return isa.LendCycles(false)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

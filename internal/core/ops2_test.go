@@ -1,0 +1,355 @@
+package core_test
+
+import (
+	"testing"
+
+	"transputer/internal/core"
+	"transputer/internal/sim"
+)
+
+// Second tranche of operation coverage: unchecked arithmetic, carries,
+// loop end, the product instruction and the timers.
+
+func TestUncheckedArithmetic(t *testing.T) {
+	m := runSrc(t, `
+	mint
+	ldc 1
+	sum            -- unchecked: MOSTNEG + 1, no overflow trap
+	stl 1
+	ldc 3
+	ldc 10
+	diff           -- B - A = -7, unchecked
+	stl 2
+	ldc 6
+	ldc 7
+	prod           -- quick unchecked multiply
+	stl 3
+	ldc 12
+	ldc 10
+	and
+	stl 4
+	ldc 12
+	ldc 10
+	or
+	stl 5
+	ldc 12
+	ldc 10
+	xor
+	stl 6
+	ldc 0
+	not
+	stl 7
+	stopp
+`)
+	if m.ErrorFlag() {
+		t.Error("unchecked operations must not set the error flag")
+	}
+	if m.Local(1) != 0x80000001 {
+		t.Errorf("sum = %#x", m.Local(1))
+	}
+	if int32(m.Local(2)) != -7 {
+		t.Errorf("diff = %d", int32(m.Local(2)))
+	}
+	if m.Local(3) != 42 {
+		t.Errorf("prod = %d", m.Local(3))
+	}
+	if m.Local(4) != 8 || m.Local(5) != 14 || m.Local(6) != 6 {
+		t.Errorf("and/or/xor = %d %d %d", m.Local(4), m.Local(5), m.Local(6))
+	}
+	if m.Local(7) != 0xFFFFFFFF {
+		t.Errorf("not 0 = %#x", m.Local(7))
+	}
+}
+
+func TestLongAddSub(t *testing.T) {
+	m := runSrc(t, `
+	ldc 1          -- carry in (ends in C)
+	ldc 10         -- left (B)
+	ldc 20         -- right (A)
+	ladd           -- 10 + 20 + 1
+	stl 1
+	ldc 1          -- borrow in
+	ldc 30
+	ldc 20
+	lsub           -- 30 - 20 - 1
+	stl 2
+	ldc 0          -- borrow in
+	ldc 5
+	ldc 9
+	ldiff          -- 5 - 9: diff with borrow out
+	stl 3          -- difference
+	stl 4          -- borrow
+	stopp
+`)
+	if m.Local(1) != 31 {
+		t.Errorf("ladd = %d", m.Local(1))
+	}
+	if m.Local(2) != 9 {
+		t.Errorf("lsub = %d", m.Local(2))
+	}
+	if int32(m.Local(3)) != -4 || m.Local(4) != 1 {
+		t.Errorf("ldiff = %d borrow %d", int32(m.Local(3)), m.Local(4))
+	}
+}
+
+func TestShiftOps(t *testing.T) {
+	m := runSrc(t, `
+	ldc 3
+	ldc 4
+	shl            -- 3 << 4
+	stl 1
+	ldc 48
+	ldc 4
+	shr
+	stl 2
+	ldc 1
+	ldc 40
+	shl            -- shift >= word length -> 0
+	stl 3
+	stopp
+`)
+	if m.Local(1) != 48 || m.Local(2) != 3 || m.Local(3) != 0 {
+		t.Errorf("shifts: %d %d %d", m.Local(1), m.Local(2), m.Local(3))
+	}
+}
+
+// TestLoopEnd exercises the loop end instruction directly: a two-word
+// control block (index, count) and a backward jump distance in A.
+func TestLoopEnd(t *testing.T) {
+	m := runSrc(t, `
+	ldc 5
+	stl 2          -- index := 5
+	ldc 3
+	stl 3          -- count := 3
+	ldc 0
+	stl 1          -- accumulator
+loop:
+	ldl 1
+	adc 1
+	stl 1
+	ldlp 2         -- control block
+	ldc after-loop
+	lend
+after:
+	stopp
+`)
+	// The body runs count times; lend increments the index each time
+	// it loops back.
+	if m.Local(1) != 3 {
+		t.Errorf("loop body ran %d times, want 3", m.Local(1))
+	}
+	if m.Local(2) != 5+2 {
+		t.Errorf("final index = %d, want 7 (two increments)", m.Local(2))
+	}
+}
+
+// TestTimerAltAtAsmLevel drives talt/enbt/taltwt/dist directly.
+func TestTimerAltAtAsmLevel(t *testing.T) {
+	m := core.MustNew(core.T424().WithMemory(64 * 1024))
+	img := assemble(t, `
+	mint
+	stl 3          -- a channel that never fires
+	ldtimer
+	stl 4
+	talt
+	ldc 1
+	ldlp 3
+	enbc
+	ldc 1
+	ldl 4
+	adc 3
+	enbt
+	taltwt
+	ldc b0-dend
+	ldc 1
+	ldlp 3
+	disc
+	ldc b1-dend
+	ldc 1
+	ldl 4
+	adc 3
+	dist
+	altend
+dend:
+b0:
+	ldc 1
+	stl 1
+	stopp
+b1:
+	ldc 2
+	stl 1
+	stopp
+`)
+	if err := m.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res := core.Run(m, sim.Second)
+	if !res.Settled || m.Fault() != nil {
+		t.Fatalf("settled=%v fault=%v", res.Settled, m.Fault())
+	}
+	if m.Local(1) != 2 {
+		t.Errorf("timer branch not selected: %d", m.Local(1))
+	}
+	// Three low-priority ticks of 64µs.
+	if res.Time < 3*64*sim.Microsecond {
+		t.Errorf("timer fired at %v, want >= 192µs", res.Time)
+	}
+}
+
+// TestSttimer sets the clocks to a chosen value.
+func TestSttimer(t *testing.T) {
+	m := runSrc(t, `
+	ldc 1000
+	sttimer
+	ldtimer
+	stl 1
+	stopp
+`)
+	if m.Local(1) < 1000 || m.Local(1) > 1005 {
+		t.Errorf("clock after sttimer = %d, want about 1000", m.Local(1))
+	}
+}
+
+// TestTimerDequeueViaChannelWin: a timer-alternative whose channel
+// fires before the timeout must be unlinked from the timer queue.
+func TestTimerDequeueViaChannelWin(t *testing.T) {
+	m := runSrc(t, `
+	mint
+	stl 3
+	ldc 2
+	stl 1
+	ldpi cont
+	stl 0
+	ldc child-after
+	ldlp -60
+	startp
+after:
+	ajw -30
+	ldtimer
+	stl 2          -- (branch workspace local)
+	talt
+	ldc 1
+	ldlp 33        -- channel W[3]
+	enbc
+	ldc 1
+	ldl 2
+	ldc 10000
+	add            -- a distant timeout
+	enbt
+	taltwt
+	ldc b0-dend
+	ldc 1
+	ldlp 33
+	disc
+	ldc b1-dend
+	ldc 1
+	ldl 2
+	ldc 10000
+	add
+	dist
+	altend
+dend:
+b0:
+	ldlp 3
+	ldlp 33
+	ldc 4
+	in
+	ldl 3
+	stl 34         -- W[4]
+	j bdone
+b1:
+	ldc -1
+	stl 34
+	j bdone
+bdone:
+	ldlp 30
+	endp
+child:
+	ldc 88
+	ldlp 63        -- W[3] from child ws at W-60
+	outword
+	ldlp 60
+	endp
+cont:
+	stopp
+`)
+	if m.Local(4) != 88 {
+		t.Errorf("channel branch value = %d, want 88", int32(m.Local(4)))
+	}
+	// The run must settle promptly — not wait for the distant timeout,
+	// and the dead timer-queue entry must not corrupt anything.
+	if m.Fault() != nil {
+		t.Fatal(m.Fault())
+	}
+}
+
+func TestCheckedRemNegativeDivisor(t *testing.T) {
+	m := runSrc(t, `
+	ldc 7
+	ldc -2
+	rem
+	stl 1
+	stopp
+`)
+	if int32(m.Local(1)) != 1 {
+		t.Errorf("7 rem -2 = %d, want 1", int32(m.Local(1)))
+	}
+}
+
+func TestStartProcessHelper(t *testing.T) {
+	m := core.MustNew(core.T424().WithMemory(64 * 1024))
+	img := assemble(t, "loop:\n\tldl 1\n\tadc 1\n\tstl 1\n\tj loop\n")
+	if err := m.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a second process by hand.
+	w2 := m.EntryWptr() + 256
+	m.StartProcess(w2, m.CodeStart(), core.PriorityLow)
+	res := core.Run(m, 100*sim.Microsecond)
+	if res.Settled {
+		t.Fatal("looping processes settled unexpectedly")
+	}
+	if m.Stats().Enqueues == 0 {
+		t.Error("StartProcess should have enqueued")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	m := runSrc(t, "\tldc 1\n\tstl 1\n\tstopp\n")
+	st := m.Stats()
+	if f := st.SingleByteFraction(); f < 0.5 {
+		t.Errorf("single byte fraction = %f", f)
+	}
+	if st.MIPS(50) <= 0 {
+		t.Error("MIPS should be positive")
+	}
+	var zero core.Stats
+	if zero.SingleByteFraction() != 0 || zero.MIPS(50) != 0 {
+		t.Error("zero stats should report zero rates")
+	}
+	if m.Config().WordBits != 32 || m.Name() != "T424" {
+		t.Error("config accessors")
+	}
+	if m.WordBits() != 32 || m.BytesPerWord() != 4 {
+		t.Error("width accessors")
+	}
+}
+
+func TestMemoryAccessors(t *testing.T) {
+	m := core.MustNew(core.T424().WithMemory(16 * 1024))
+	addr := m.MemStart()
+	m.WriteWord(addr, 0xCAFE)
+	if m.ReadWord(addr) != 0xCAFE {
+		t.Error("WriteWord/ReadWord")
+	}
+	m.WriteBytes(addr, []byte{1, 2, 3, 4})
+	got := m.ReadBytes(addr, 4)
+	for i, b := range []byte{1, 2, 3, 4} {
+		if got[i] != b {
+			t.Errorf("ReadBytes[%d] = %d", i, got[i])
+		}
+	}
+	if m.DataStart() == 0 {
+		t.Error("DataStart")
+	}
+}

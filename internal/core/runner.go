@@ -1,0 +1,87 @@
+package core
+
+import "transputer/internal/sim"
+
+// Runner drives a machine from a simulation kernel, scheduling one
+// event per executed instruction (or long-operation installment).  When
+// the machine idles the runner stops scheduling; the machine's
+// ready callback resumes it.
+type Runner struct {
+	M      *Machine
+	kernel *sim.Kernel
+	active bool
+	// BusyCycles counts cycles the processor spent executing; the
+	// difference from elapsed time is idle time.
+	BusyCycles uint64
+}
+
+// NewRunner attaches a machine to a kernel (as its clock) and arranges
+// stepping.  The external engine, if any, must be attached by the
+// caller before or after.
+func NewRunner(k *sim.Kernel, m *Machine) *Runner {
+	r := &Runner{M: m, kernel: k}
+	m.Attach(kernelClock{k}, nil)
+	m.OnReady(r.resume)
+	return r
+}
+
+// kernelClock adapts a sim.Kernel to the machine's Clock interface.
+type kernelClock struct{ k *sim.Kernel }
+
+func (c kernelClock) Now() sim.Time                        { return c.k.Now() }
+func (c kernelClock) At(t sim.Time, fn func()) sim.EventID { return c.k.Schedule(t, fn) }
+func (c kernelClock) Cancel(id sim.EventID)                { c.k.Cancel(id) }
+
+// Start begins stepping the machine if it has work.
+func (r *Runner) Start() { r.resume() }
+
+func (r *Runner) resume() {
+	if r.active || r.M.Halted() {
+		return
+	}
+	r.active = true
+	r.kernel.Schedule(r.kernel.Now(), r.step)
+}
+
+func (r *Runner) step() {
+	r.active = false
+	m := r.M
+	if m.Halted() {
+		return
+	}
+	cycles := m.Step()
+	r.BusyCycles += uint64(cycles)
+	if m.Halted() {
+		return
+	}
+	if m.Idle() && m.longOp == nil && m.pendingSwitchCycles == 0 {
+		// Nothing to run; wait for a timer, link or peer event.
+		return
+	}
+	r.active = true
+	delay := sim.Time(int64(cycles) * int64(m.cfg.CycleNs))
+	if cycles == 0 {
+		delay = sim.Time(m.cfg.CycleNs)
+	}
+	r.kernel.Schedule(r.kernel.Now()+delay, r.step)
+}
+
+// RunResult describes why a standalone run stopped.
+type RunResult struct {
+	Time    sim.Time // final simulated time
+	Settled bool     // true if the machine quiesced (idle, no pending events)
+}
+
+// Run executes a loaded machine standalone (no links) until it
+// quiesces or the time limit passes.  A zero limit means no limit.
+func Run(m *Machine, limit sim.Time) RunResult {
+	k := sim.NewKernel()
+	r := NewRunner(k, m)
+	r.Start()
+	if limit > 0 {
+		settled := k.RunUntil(limit)
+		return RunResult{Time: k.Now(), Settled: settled}
+	}
+	k.Run()
+	return RunResult{Time: k.Now(), Settled: true}
+}

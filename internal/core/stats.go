@@ -1,0 +1,76 @@
+package core
+
+// Stats aggregates the execution counters the paper's performance
+// discussion rests on: instruction and cycle counts (MIPS), instruction
+// length distribution (the "typically 80% single byte" claim), and
+// scheduler activity.
+type Stats struct {
+	// Instructions is the number of completed instructions (prefix
+	// sequences count as part of their final instruction).
+	Instructions uint64
+	// InstructionBytes is the total bytes of executed instructions,
+	// including prefixes.
+	InstructionBytes uint64
+	// SingleByte counts executed instructions encoded in one byte.
+	SingleByte uint64
+	// Cycles is the total processor cycles consumed, including
+	// scheduling charges.
+	Cycles uint64
+	// FunctionCounts tallies executed direct functions by code; prefix
+	// bytes are counted under their own codes.
+	FunctionCounts [16]uint64
+	// OpCounts tallies executed indirect operations.
+	OpCounts map[uint16]uint64
+
+	// Scheduler activity.
+	Enqueues    uint64
+	Deschedules uint64
+	Preemptions uint64
+	Timeslices  uint64
+
+	// Communication.
+	MessagesIn  uint64
+	MessagesOut uint64
+	BytesIn     uint64
+	BytesOut    uint64
+	ExternalIn  uint64
+	ExternalOut uint64
+
+	// CodeBytes is the size of the loaded program image.
+	CodeBytes int
+}
+
+// SingleByteFraction returns the fraction of executed instructions that
+// occupied a single byte.
+func (s Stats) SingleByteFraction() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.SingleByte) / float64(s.Instructions)
+}
+
+// MIPS returns the execution rate in millions of instructions per
+// second for the given cycle time in nanoseconds.
+func (s Stats) MIPS(cycleNs int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) * float64(cycleNs) * 1e-9
+	return float64(s.Instructions) / seconds / 1e6
+}
+
+func (m *Machine) countInstr(bytes int, fn int) {
+	m.stats.Instructions++
+	m.stats.InstructionBytes += uint64(bytes)
+	if bytes == 1 {
+		m.stats.SingleByte++
+	}
+	m.stats.FunctionCounts[fn&0xF]++
+}
+
+func (m *Machine) countOp(op uint16) {
+	if m.stats.OpCounts == nil {
+		m.stats.OpCounts = make(map[uint16]uint64)
+	}
+	m.stats.OpCounts[op]++
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"transputer/internal/isa"
+)
+
+// TraceEvent describes one instruction about to execute.
+type TraceEvent struct {
+	// Addr is the address of the instruction's first byte (including
+	// prefixes).
+	Addr uint64
+	// Wdesc identifies the executing process (workspace | priority).
+	Wdesc uint64
+	// The evaluation stack before execution.
+	Areg, Breg, Creg uint64
+	// Fn and Operand are the decoded instruction.
+	Fn      isa.Function
+	Operand uint64
+	// Cycles is the machine's cycle counter before execution.
+	Cycles uint64
+}
+
+// Instr renders the decoded instruction.
+func (e TraceEvent) Instr() string {
+	if e.Fn == isa.FnOpr {
+		return isa.Op(e.Operand).Name()
+	}
+	return fmt.Sprintf("%s %d", e.Fn.Name(), int64(int32(uint32(e.Operand))))
+}
+
+// Trace receives every executed instruction while attached.
+type Trace func(TraceEvent)
+
+// SetTrace attaches (or with nil, detaches) an instruction tracer.
+// Tracing is for debugging and does not alter timing.
+func (m *Machine) SetTrace(fn Trace) { m.trace = fn }
+
+// TraceWriter returns a Trace that writes one line per instruction:
+// cycle count, process, address, stack and the full instruction name.
+func TraceWriter(w io.Writer) Trace {
+	return func(e TraceEvent) {
+		fmt.Fprintf(w, "%10d  W=%08X  %08X  A=%08X B=%08X C=%08X  %s\n",
+			e.Cycles, e.Wdesc, e.Addr, e.Areg, e.Breg, e.Creg, e.Instr())
+	}
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must reproduce the paper's figures.  These tests are
+// the repository's headline claims; a failure means the reproduction
+// has drifted.
+
+func check(t *testing.T, r Result) {
+	t.Helper()
+	for _, row := range r.Rows {
+		if !row.OK {
+			t.Errorf("%s %q: paper %q, measured %q", r.ID, row.Label, row.Paper, row.Measured)
+		}
+	}
+}
+
+func TestE1DirectFunctions(t *testing.T)     { check(t, E1DirectFunctions()) }
+func TestE2Prefix754(t *testing.T)           { check(t, E2Prefix754()) }
+func TestE3ExpressionEval(t *testing.T)      { check(t, E3ExpressionEvaluation()) }
+func TestE4CommunicationCycles(t *testing.T) { check(t, E4CommunicationCycles()) }
+func TestE5PrioritySwitch(t *testing.T)      { check(t, E5PrioritySwitch()) }
+func TestE6LinkThroughput(t *testing.T)      { check(t, E6LinkThroughput()) }
+func TestE7MessageLatency(t *testing.T)      { check(t, E7MessageLatency()) }
+func TestE10Workstation(t *testing.T)        { check(t, E10Workstation()) }
+func TestE11MIPSRate(t *testing.T)           { check(t, E11MIPSRate()) }
+func TestE12SingleByte(t *testing.T)         { check(t, E12SingleByteFraction()) }
+func TestE14AggregateBandwidth(t *testing.T) { check(t, E14AggregateBandwidth()) }
+func TestA1StopAndWait(t *testing.T)         { check(t, A1StopAndWaitLink()) }
+func TestA2FixedWidth(t *testing.T)          { check(t, A2FixedWidthEncoding()) }
+func TestA3FetchBuffer(t *testing.T)         { check(t, A3FetchBuffer()) }
+func TestA4WordLength(t *testing.T)          { check(t, A4WordLength()) }
+
+func TestE8DatabaseSearch16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("array build is slow under -short")
+	}
+	check(t, E8DatabaseSearch16())
+}
+
+func TestE9DatabaseSearch128(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-node board is slow under -short")
+	}
+	check(t, E9DatabaseSearch128())
+}
+
+func TestE13SearchPipelining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipelining sweep is slow under -short")
+	}
+	check(t, E13SearchPipelining())
+}
+
+func TestE15InterruptLatency(t *testing.T) { check(t, E15InterruptLatency()) }
+
+func TestE16ConfigurationTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prime sweep is slow under -short")
+	}
+	check(t, E16ConfigurationTradeoff())
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{
+		ID:    "EX",
+		Title: "demo",
+		Notes: "a note",
+		Rows: []Row{
+			{Label: "good", Paper: "p", Measured: "m", OK: true},
+			{Label: "bad", Paper: "p", Measured: "m", OK: false},
+		},
+	}
+	if r.Pass() {
+		t.Error("result with a failing row must not pass")
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"EX: demo", "MISMATCH", "a note", "workload"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !(Result{Rows: []Row{{OK: true}}}).Pass() {
+		t.Error("all-OK result must pass")
+	}
+	if !within(1.0, 1.05, 0.1) || within(1.0, 2.0, 0.1) {
+		t.Error("within helper wrong")
+	}
+}

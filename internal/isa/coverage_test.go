@@ -1,0 +1,70 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownNamesFallBack(t *testing.T) {
+	if got := Op(0x1F0).Name(); !strings.Contains(got, "0x1f0") {
+		t.Errorf("unknown op name = %q", got)
+	}
+	if got := Op(0x1F0).Mnemonic(); !strings.Contains(got, "opr") {
+		t.Errorf("unknown op mnemonic = %q", got)
+	}
+	if _, ok := OpByMnemonic("nonesuch"); ok {
+		t.Error("nonexistent mnemonic should not resolve")
+	}
+	if _, ok := FunctionByMnemonic("nonesuch"); ok {
+		t.Error("nonexistent function mnemonic should not resolve")
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	code := EncodeOperand(nil, FnAdc, -3)
+	instr, _ := Decode(code, 0)
+	if instr.String() != "add constant -3" {
+		t.Errorf("String() = %q", instr.String())
+	}
+	if instr.Mnemonic() != "adc -3" {
+		t.Errorf("Mnemonic() = %q", instr.Mnemonic())
+	}
+	op := EncodeOp(nil, OpStartp)
+	oi, _ := Decode(op, 0)
+	if oi.String() != "start process" || oi.Mnemonic() != "startp" {
+		t.Errorf("op forms: %q %q", oi.String(), oi.Mnemonic())
+	}
+}
+
+func TestFunctionCyclesAll(t *testing.T) {
+	for f := Function(0); f < 16; f++ {
+		if c := FunctionCycles(f); c < 0 || c > 7 {
+			t.Errorf("%s cycles = %d", f.Name(), c)
+		}
+	}
+}
+
+func TestOpCyclesPlausible(t *testing.T) {
+	for _, op := range Ops() {
+		c, fixed := OpCycles(op, 32)
+		if fixed && (c <= 0 || c > 64) {
+			t.Errorf("%s cycles = %d", op.Name(), c)
+		}
+	}
+}
+
+// TestPaperFrequentOpsSingleCycle: the paper notes "many of the
+// instructions execute in a single cycle".
+func TestPaperFrequentOpsSingleCycle(t *testing.T) {
+	single := []Op{OpAdd, OpSub, OpDiff, OpSum, OpAnd, OpOr, OpXor, OpNot, OpRev, OpMint, OpBsub}
+	for _, op := range single {
+		if c, fixed := OpCycles(op, 32); !fixed || c != 1 {
+			t.Errorf("%s should be one cycle, got %d", op.Name(), c)
+		}
+	}
+	for _, f := range []Function{FnLdc, FnStl, FnAdc, FnLdlp, FnLdnlp, FnAjw} {
+		if FunctionCycles(f) != 1 {
+			t.Errorf("%s should be one cycle", f.Name())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DisasmLine is one disassembled instruction.
+type DisasmLine struct {
+	Offset int    // byte offset of the first (prefix) byte
+	Bytes  []byte // raw instruction bytes
+	Instr  Instr
+}
+
+// DisassembleAll decodes an entire code image into lines.  Trailing
+// bytes that do not form a complete instruction are returned as a final
+// line with Instr.Size == 0.
+func DisassembleAll(code []byte) []DisasmLine {
+	var lines []DisasmLine
+	pc := 0
+	for pc < len(code) {
+		instr, ok := Decode(code, pc)
+		if !ok {
+			lines = append(lines, DisasmLine{Offset: pc, Bytes: code[pc:]})
+			break
+		}
+		lines = append(lines, DisasmLine{
+			Offset: pc,
+			Bytes:  code[pc : pc+instr.Size],
+			Instr:  instr,
+		})
+		pc += instr.Size
+	}
+	return lines
+}
+
+// Fdisassemble writes a listing of the code image to w: offset, raw
+// bytes, short mnemonic, and the full paper-style name.
+func Fdisassemble(w io.Writer, code []byte) error {
+	for _, ln := range DisassembleAll(code) {
+		hex := make([]string, len(ln.Bytes))
+		for i, b := range ln.Bytes {
+			hex[i] = fmt.Sprintf("%02X", b)
+		}
+		if ln.Instr.Size == 0 {
+			if _, err := fmt.Fprintf(w, "%06X  %-16s  <incomplete prefix sequence>\n",
+				ln.Offset, strings.Join(hex, " ")); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%06X  %-16s  %-12s  %s\n",
+			ln.Offset, strings.Join(hex, " "), ln.Instr.Mnemonic(), ln.Instr.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sdisassemble returns the listing as a string.
+func Sdisassemble(code []byte) string {
+	var sb strings.Builder
+	_ = Fdisassemble(&sb, code)
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package isa
+
+// Prefix encoding (paper, section 3.2.7).
+//
+// All instructions are executed by loading the four data bits into the
+// least significant four bits of the operand register.  The prefix
+// instruction loads its four data bits and shifts the operand register up
+// four places; negative prefix complements the operand register before
+// shifting.  A sequence of prefixing instructions can therefore extend an
+// operand to any length up to the length of the operand register, in a
+// form independent of the processor word length.
+
+// EncodeOperand appends to dst the minimal instruction sequence whose
+// final byte is the given function with the given (signed) operand, and
+// returns the extended slice.
+func EncodeOperand(dst []byte, f Function, operand int64) []byte {
+	dst = appendPrefixes(dst, operand)
+	return append(dst, byte(f)<<4|byte(operand&0xF))
+}
+
+// appendPrefixes appends the prefix/negative-prefix sequence needed
+// before the final instruction byte carrying the low nibble of v.
+func appendPrefixes(dst []byte, v int64) []byte {
+	if v >= 0 && v < 16 {
+		return dst
+	}
+	if v < 0 {
+		// negative prefix: complement before shifting up.
+		dst = appendPrefixes(dst, ^v>>4)
+		return append(dst, byte(FnNfix)<<4|byte((^v>>4)&0xF))
+	}
+	dst = appendPrefixes(dst, v>>4)
+	return append(dst, byte(FnPfix)<<4|byte((v>>4)&0xF))
+}
+
+// OperandLength returns the number of bytes EncodeOperand will produce
+// for the given operand (prefixes plus the final instruction byte).
+func OperandLength(operand int64) int {
+	if operand >= 0 && operand < 16 {
+		return 1
+	}
+	if operand < 0 {
+		return OperandLength(^operand>>4) + 1
+	}
+	return OperandLength(operand>>4) + 1
+}
+
+// EncodeOp appends the instruction sequence for an indirect operation:
+// any prefixes required by the operation code, then the operate
+// instruction.
+func EncodeOp(dst []byte, op Op) []byte {
+	return EncodeOperand(dst, FnOpr, int64(op))
+}
+
+// MaxInstructionBytes is the longest possible single instruction
+// (prefix sequence plus final byte) for a w-bit word.  Each prefix
+// contributes four bits of operand.
+func MaxInstructionBytes(wordBits int) int {
+	return wordBits / 4
+}

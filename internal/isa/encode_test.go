@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeSmallOperand(t *testing.T) {
+	for v := int64(0); v < 16; v++ {
+		got := EncodeOperand(nil, FnLdc, v)
+		want := []byte{byte(FnLdc)<<4 | byte(v)}
+		if len(got) != 1 || got[0] != want[0] {
+			t.Errorf("EncodeOperand(ldc, %d) = % X, want % X", v, got, want)
+		}
+	}
+}
+
+// TestEncode754 reproduces the paper's prefix example (section 3.2.7):
+// loading hexadecimal #754 takes "prefix #7; prefix #5; load constant #4".
+func TestEncode754(t *testing.T) {
+	got := EncodeOperand(nil, FnLdc, 0x754)
+	want := []byte{
+		byte(FnPfix)<<4 | 0x7,
+		byte(FnPfix)<<4 | 0x5,
+		byte(FnLdc)<<4 | 0x4,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("encoded % X, want % X", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("encoded % X, want % X", got, want)
+		}
+	}
+}
+
+// TestEncodeNegative checks the negative prefix mechanism: operands in
+// the range -256..255 need at most one prefixing instruction (paper,
+// 3.2.7).
+func TestEncodeNegative(t *testing.T) {
+	for v := int64(-256); v < 256; v++ {
+		n := len(EncodeOperand(nil, FnJ, v))
+		if n > 2 {
+			t.Errorf("operand %d encoded in %d bytes, want <= 2", v, n)
+		}
+	}
+	// -1 is nfix 0; j -1.
+	got := EncodeOperand(nil, FnJ, -1)
+	want := []byte{byte(FnNfix) << 4, byte(FnJ)<<4 | 0xF}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("EncodeOperand(j, -1) = % X, want % X", got, want)
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the core property of the prefixing
+// scheme: for any signed operand, decode(encode(v)) == v.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(v int64, fnRaw uint8) bool {
+		fn := Function(fnRaw % 16)
+		if fn == FnPfix || fn == FnNfix {
+			fn = FnLdc
+		}
+		code := EncodeOperand(nil, fn, v)
+		instr, ok := Decode(code, 0)
+		return ok && instr.Fn == fn && instr.Operand == v && instr.Size == len(code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeMinimal verifies the encoder emits the minimal prefix
+// sequence: encoding v must not be longer than encoding any value with
+// larger magnitude, and the length must match OperandLength.
+func TestEncodeMinimal(t *testing.T) {
+	f := func(v int64) bool {
+		return len(EncodeOperand(nil, FnLdc, v)) == OperandLength(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	cases := []struct {
+		v int64
+		n int
+	}{
+		{0, 1}, {15, 1}, {16, 2}, {255, 2}, {256, 3},
+		{-1, 2}, {-256, 2}, {-257, 3},
+		{0x754, 3}, {0x7FFFFFFF, 8}, {-0x80000000, 8},
+	}
+	for _, c := range cases {
+		if got := OperandLength(c.v); got != c.n {
+			t.Errorf("OperandLength(%d) = %d, want %d", c.v, got, c.n)
+		}
+	}
+}
+
+// TestWordLengthIndependentEncoding: the same operand encodes to the
+// same bytes regardless of target word length — the byte stream is what
+// word-length independence rests on (paper, 3.3).
+func TestWordLengthIndependentEncoding(t *testing.T) {
+	for _, v := range []int64{0, 5, 100, -7, 3000, -3000} {
+		a := EncodeOperand(nil, FnLdc, v)
+		b := EncodeOperand(nil, FnLdc, v) // no word-length parameter exists
+		if string(a) != string(b) {
+			t.Fatalf("encoding of %d not deterministic", v)
+		}
+	}
+	if MaxInstructionBytes(32) != 8 || MaxInstructionBytes(16) != 4 {
+		t.Errorf("MaxInstructionBytes: got %d/%d, want 8/4",
+			MaxInstructionBytes(32), MaxInstructionBytes(16))
+	}
+}
+
+func TestDecodeIncomplete(t *testing.T) {
+	code := []byte{byte(FnPfix)<<4 | 0x7} // prefix with no final byte
+	if _, ok := Decode(code, 0); ok {
+		t.Error("Decode of bare prefix should fail")
+	}
+	if _, ok := Decode(nil, 0); ok {
+		t.Error("Decode of empty code should fail")
+	}
+}
+
+func TestEncodeOpPrefixing(t *testing.T) {
+	// mul is operation 0x53: pfix 5; opr 3.
+	got := EncodeOp(nil, OpMul)
+	want := []byte{byte(FnPfix)<<4 | 0x5, byte(FnOpr)<<4 | 0x3}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("EncodeOp(mul) = % X, want % X", got, want)
+	}
+	instr, ok := Decode(got, 0)
+	if !ok || !instr.IsOp() || instr.Op() != OpMul {
+		t.Errorf("Decode(EncodeOp(mul)) = %+v, %v", instr, ok)
+	}
+}

@@ -1,0 +1,345 @@
+// Package isa defines the I1 instruction set of the first transputers
+// (IMS T424 / T222) as described in "The Transputer" (Whitby-Strevens,
+// ISCA 1985), section 3.2.
+//
+// Every instruction is one byte: the four most significant bits are a
+// function code and the four least significant bits are a data value
+// (figure 4 of the paper).  Thirteen function codes encode the most
+// important operations directly; two (prefix and negative prefix) extend
+// the operand of the following instruction; the last (operate) treats its
+// operand as an operation on the evaluation stack.
+//
+// Following the paper's convention, instructions carry full names rather
+// than mnemonics ("it is not common practice to abbreviate the names of
+// the instructions").  The Go identifiers use the conventional short forms
+// for brevity, but Name() returns the full names used in the paper.
+package isa
+
+import "fmt"
+
+// Function is a direct function code, the high nibble of an instruction
+// byte.
+type Function uint8
+
+// The sixteen function codes.  The encoding follows the first transputer
+// products (T424/T222 family).
+const (
+	FnJ     Function = 0x0 // jump
+	FnLdlp  Function = 0x1 // load local pointer
+	FnPfix  Function = 0x2 // prefix
+	FnLdnl  Function = 0x3 // load non local
+	FnLdc   Function = 0x4 // load constant
+	FnLdnlp Function = 0x5 // load non local pointer
+	FnNfix  Function = 0x6 // negative prefix
+	FnLdl   Function = 0x7 // load local
+	FnAdc   Function = 0x8 // add constant
+	FnCall  Function = 0x9 // call
+	FnCj    Function = 0xA // conditional jump
+	FnAjw   Function = 0xB // adjust workspace
+	FnEqc   Function = 0xC // equals constant
+	FnStl   Function = 0xD // store local
+	FnStnl  Function = 0xE // store non local
+	FnOpr   Function = 0xF // operate
+)
+
+// functionNames holds the full instruction names used in the paper.
+var functionNames = [16]string{
+	FnJ:     "jump",
+	FnLdlp:  "load local pointer",
+	FnPfix:  "prefix",
+	FnLdnl:  "load non local",
+	FnLdc:   "load constant",
+	FnLdnlp: "load non local pointer",
+	FnNfix:  "negative prefix",
+	FnLdl:   "load local",
+	FnAdc:   "add constant",
+	FnCall:  "call",
+	FnCj:    "conditional jump",
+	FnAjw:   "adjust workspace",
+	FnEqc:   "equals constant",
+	FnStl:   "store local",
+	FnStnl:  "store non local",
+	FnOpr:   "operate",
+}
+
+// functionMnemonics holds the conventional short forms, used by the
+// assembler.
+var functionMnemonics = [16]string{
+	FnJ:     "j",
+	FnLdlp:  "ldlp",
+	FnPfix:  "pfix",
+	FnLdnl:  "ldnl",
+	FnLdc:   "ldc",
+	FnLdnlp: "ldnlp",
+	FnNfix:  "nfix",
+	FnLdl:   "ldl",
+	FnAdc:   "adc",
+	FnCall:  "call",
+	FnCj:    "cj",
+	FnAjw:   "ajw",
+	FnEqc:   "eqc",
+	FnStl:   "stl",
+	FnStnl:  "stnl",
+	FnOpr:   "opr",
+}
+
+// Name returns the full instruction name from the paper, e.g. "load
+// constant".
+func (f Function) Name() string {
+	if int(f) < len(functionNames) {
+		return functionNames[f]
+	}
+	return fmt.Sprintf("function %#x", uint8(f))
+}
+
+// Mnemonic returns the conventional short form, e.g. "ldc".
+func (f Function) Mnemonic() string {
+	if int(f) < len(functionMnemonics) {
+		return functionMnemonics[f]
+	}
+	return fmt.Sprintf("fn%X", uint8(f))
+}
+
+// Op is an indirect operation, selected by the operand of the operate
+// function.  Operations beyond 15 require prefixing instructions; "the
+// transputer instruction set is not large enough to require more than 512
+// operations to be encoded!" (paper, 3.2.8).
+type Op uint16
+
+// Operations.  The encoding is chosen so the most frequent operations fit
+// in a single byte (values 0-15), as the paper requires; the assignment
+// follows the first transputer products.
+const (
+	OpRev     Op = 0x00 // reverse
+	OpLb      Op = 0x01 // load byte
+	OpBsub    Op = 0x02 // byte subscript
+	OpEndp    Op = 0x03 // end process
+	OpDiff    Op = 0x04 // difference
+	OpAdd     Op = 0x05 // add
+	OpGcall   Op = 0x06 // general call
+	OpIn      Op = 0x07 // input message
+	OpProd    Op = 0x08 // product
+	OpGt      Op = 0x09 // greater than
+	OpWsub    Op = 0x0A // word subscript
+	OpOut     Op = 0x0B // output message
+	OpSub     Op = 0x0C // subtract
+	OpStartp  Op = 0x0D // start process
+	OpOutbyte Op = 0x0E // output byte
+	OpOutword Op = 0x0F // output word
+
+	OpSeterr      Op = 0x10 // set error
+	OpResetch     Op = 0x12 // reset channel
+	OpCsub0       Op = 0x13 // check subscript from 0
+	OpStopp       Op = 0x15 // stop process
+	OpLadd        Op = 0x16 // long add
+	OpStlb        Op = 0x17 // store low priority back pointer
+	OpSthf        Op = 0x18 // store high priority front pointer
+	OpNorm        Op = 0x19 // normalise
+	OpLdiv        Op = 0x1A // long divide
+	OpLdpi        Op = 0x1B // load pointer to instruction
+	OpStlf        Op = 0x1C // store low priority front pointer
+	OpXdble       Op = 0x1D // extend to double
+	OpLdpri       Op = 0x1E // load current priority
+	OpRem         Op = 0x1F // remainder
+	OpRet         Op = 0x20 // return
+	OpLend        Op = 0x21 // loop end
+	OpLdtimer     Op = 0x22 // load timer
+	OpTesterr     Op = 0x29 // test error false and clear
+	OpTin         Op = 0x2B // timer input
+	OpDiv         Op = 0x2C // divide
+	OpDist        Op = 0x2E // disable timer
+	OpDisc        Op = 0x2F // disable channel
+	OpDiss        Op = 0x30 // disable skip
+	OpLmul        Op = 0x31 // long multiply
+	OpNot         Op = 0x32 // bitwise not
+	OpXor         Op = 0x33 // exclusive or
+	OpBcnt        Op = 0x34 // byte count
+	OpLshr        Op = 0x35 // long shift right
+	OpLshl        Op = 0x36 // long shift left
+	OpLsum        Op = 0x37 // long sum
+	OpLsub        Op = 0x38 // long subtract
+	OpRunp        Op = 0x39 // run process
+	OpXword       Op = 0x3A // extend to word
+	OpSb          Op = 0x3B // store byte
+	OpGajw        Op = 0x3C // general adjust workspace
+	OpSavel       Op = 0x3D // save low priority queue registers
+	OpSaveh       Op = 0x3E // save high priority queue registers
+	OpWcnt        Op = 0x3F // word count
+	OpShr         Op = 0x40 // shift right
+	OpShl         Op = 0x41 // shift left
+	OpMint        Op = 0x42 // minimum integer
+	OpAlt         Op = 0x43 // alt start
+	OpAltwt       Op = 0x44 // alt wait
+	OpAltend      Op = 0x45 // alt end
+	OpAnd         Op = 0x46 // and
+	OpEnbt        Op = 0x47 // enable timer
+	OpEnbc        Op = 0x48 // enable channel
+	OpEnbs        Op = 0x49 // enable skip
+	OpMove        Op = 0x4A // move message
+	OpOr          Op = 0x4B // or
+	OpCsngl       Op = 0x4C // check single
+	OpCcnt1       Op = 0x4D // check count from 1
+	OpTalt        Op = 0x4E // timer alt start
+	OpLdiff       Op = 0x4F // long difference
+	OpSthb        Op = 0x50 // store high priority back pointer
+	OpTaltwt      Op = 0x51 // timer alt wait
+	OpSum         Op = 0x52 // sum
+	OpMul         Op = 0x53 // multiply
+	OpSttimer     Op = 0x54 // store timer
+	OpStoperr     Op = 0x55 // stop on error
+	OpCword       Op = 0x56 // check word
+	OpClrhalterr  Op = 0x57 // clear halt-on-error
+	OpSethalterr  Op = 0x58 // set halt-on-error
+	OpTesthalterr Op = 0x59 // test halt-on-error
+)
+
+// opName pairs an operation with its full paper-style name and mnemonic.
+type opName struct {
+	op       Op
+	name     string
+	mnemonic string
+}
+
+var opNames = []opName{
+	{OpRev, "reverse", "rev"},
+	{OpLb, "load byte", "lb"},
+	{OpBsub, "byte subscript", "bsub"},
+	{OpEndp, "end process", "endp"},
+	{OpDiff, "difference", "diff"},
+	{OpAdd, "add", "add"},
+	{OpGcall, "general call", "gcall"},
+	{OpIn, "input message", "in"},
+	{OpProd, "product", "prod"},
+	{OpGt, "greater than", "gt"},
+	{OpWsub, "word subscript", "wsub"},
+	{OpOut, "output message", "out"},
+	{OpSub, "subtract", "sub"},
+	{OpStartp, "start process", "startp"},
+	{OpOutbyte, "output byte", "outbyte"},
+	{OpOutword, "output word", "outword"},
+	{OpSeterr, "set error", "seterr"},
+	{OpResetch, "reset channel", "resetch"},
+	{OpCsub0, "check subscript from 0", "csub0"},
+	{OpStopp, "stop process", "stopp"},
+	{OpLadd, "long add", "ladd"},
+	{OpStlb, "store low priority back pointer", "stlb"},
+	{OpSthf, "store high priority front pointer", "sthf"},
+	{OpNorm, "normalise", "norm"},
+	{OpLdiv, "long divide", "ldiv"},
+	{OpLdpi, "load pointer to instruction", "ldpi"},
+	{OpStlf, "store low priority front pointer", "stlf"},
+	{OpXdble, "extend to double", "xdble"},
+	{OpLdpri, "load current priority", "ldpri"},
+	{OpRem, "remainder", "rem"},
+	{OpRet, "return", "ret"},
+	{OpLend, "loop end", "lend"},
+	{OpLdtimer, "load timer", "ldtimer"},
+	{OpTesterr, "test error false and clear", "testerr"},
+	{OpTin, "timer input", "tin"},
+	{OpDiv, "divide", "div"},
+	{OpDist, "disable timer", "dist"},
+	{OpDisc, "disable channel", "disc"},
+	{OpDiss, "disable skip", "diss"},
+	{OpLmul, "long multiply", "lmul"},
+	{OpNot, "bitwise not", "not"},
+	{OpXor, "exclusive or", "xor"},
+	{OpBcnt, "byte count", "bcnt"},
+	{OpLshr, "long shift right", "lshr"},
+	{OpLshl, "long shift left", "lshl"},
+	{OpLsum, "long sum", "lsum"},
+	{OpLsub, "long subtract", "lsub"},
+	{OpRunp, "run process", "runp"},
+	{OpXword, "extend to word", "xword"},
+	{OpSb, "store byte", "sb"},
+	{OpGajw, "general adjust workspace", "gajw"},
+	{OpSavel, "save low priority queue registers", "savel"},
+	{OpSaveh, "save high priority queue registers", "saveh"},
+	{OpWcnt, "word count", "wcnt"},
+	{OpShr, "shift right", "shr"},
+	{OpShl, "shift left", "shl"},
+	{OpMint, "minimum integer", "mint"},
+	{OpAlt, "alt start", "alt"},
+	{OpAltwt, "alt wait", "altwt"},
+	{OpAltend, "alt end", "altend"},
+	{OpAnd, "and", "and"},
+	{OpEnbt, "enable timer", "enbt"},
+	{OpEnbc, "enable channel", "enbc"},
+	{OpEnbs, "enable skip", "enbs"},
+	{OpMove, "move message", "move"},
+	{OpOr, "or", "or"},
+	{OpCsngl, "check single", "csngl"},
+	{OpCcnt1, "check count from 1", "ccnt1"},
+	{OpTalt, "timer alt start", "talt"},
+	{OpLdiff, "long difference", "ldiff"},
+	{OpSthb, "store high priority back pointer", "sthb"},
+	{OpTaltwt, "timer alt wait", "taltwt"},
+	{OpSum, "sum", "sum"},
+	{OpMul, "multiply", "mul"},
+	{OpSttimer, "store timer", "sttimer"},
+	{OpStoperr, "stop on error", "stoperr"},
+	{OpCword, "check word", "cword"},
+	{OpClrhalterr, "clear halt-on-error", "clrhalterr"},
+	{OpSethalterr, "set halt-on-error", "sethalterr"},
+	{OpTesthalterr, "test halt-on-error", "testhalterr"},
+}
+
+var (
+	opNameByOp     = map[Op]string{}
+	opMnemonicByOp = map[Op]string{}
+	opByMnemonic   = map[string]Op{}
+	fnByMnemonic   = map[string]Function{}
+)
+
+func init() {
+	for _, e := range opNames {
+		opNameByOp[e.op] = e.name
+		opMnemonicByOp[e.op] = e.mnemonic
+		opByMnemonic[e.mnemonic] = e.op
+	}
+	for f, m := range functionMnemonics {
+		fnByMnemonic[m] = Function(f)
+	}
+}
+
+// Name returns the full operation name, e.g. "input message".
+func (o Op) Name() string {
+	if n, ok := opNameByOp[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("operation %#x", uint16(o))
+}
+
+// Mnemonic returns the conventional short form, e.g. "in".
+func (o Op) Mnemonic() string {
+	if m, ok := opMnemonicByOp[o]; ok {
+		return m
+	}
+	return fmt.Sprintf("opr%X", uint16(o))
+}
+
+// Defined reports whether o is an operation this implementation defines.
+func (o Op) Defined() bool {
+	_, ok := opNameByOp[o]
+	return ok
+}
+
+// OpByMnemonic looks up an operation by its short form.
+func OpByMnemonic(m string) (Op, bool) {
+	o, ok := opByMnemonic[m]
+	return o, ok
+}
+
+// FunctionByMnemonic looks up a direct function by its short form.
+func FunctionByMnemonic(m string) (Function, bool) {
+	f, ok := fnByMnemonic[m]
+	return f, ok
+}
+
+// Ops returns all defined operations in encoding order.
+func Ops() []Op {
+	out := make([]Op, 0, len(opNames))
+	for _, e := range opNames {
+		out = append(out, e.op)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestFunctionNames(t *testing.T) {
+	cases := []struct {
+		f        Function
+		name     string
+		mnemonic string
+	}{
+		{FnLdc, "load constant", "ldc"},
+		{FnAdc, "add constant", "adc"},
+		{FnLdl, "load local", "ldl"},
+		{FnStl, "store local", "stl"},
+		{FnLdlp, "load local pointer", "ldlp"},
+		{FnLdnl, "load non local", "ldnl"},
+		{FnStnl, "store non local", "stnl"},
+		{FnJ, "jump", "j"},
+		{FnCj, "conditional jump", "cj"},
+		{FnCall, "call", "call"},
+		{FnPfix, "prefix", "pfix"},
+		{FnNfix, "negative prefix", "nfix"},
+		{FnOpr, "operate", "opr"},
+	}
+	for _, c := range cases {
+		if got := c.f.Name(); got != c.name {
+			t.Errorf("%v.Name() = %q, want %q", c.f, got, c.name)
+		}
+		if got := c.f.Mnemonic(); got != c.mnemonic {
+			t.Errorf("%v.Mnemonic() = %q, want %q", c.f, got, c.mnemonic)
+		}
+		if f, ok := FunctionByMnemonic(c.mnemonic); !ok || f != c.f {
+			t.Errorf("FunctionByMnemonic(%q) = %v,%v", c.mnemonic, f, ok)
+		}
+	}
+}
+
+// TestThirteenDirectFunctions checks the paper's claim that thirteen of
+// the sixteen function codes encode direct operations (the other three
+// being prefix, negative prefix and operate).
+func TestThirteenDirectFunctions(t *testing.T) {
+	direct := 0
+	for f := Function(0); f < 16; f++ {
+		switch f {
+		case FnPfix, FnNfix, FnOpr:
+		default:
+			direct++
+		}
+	}
+	if direct != 13 {
+		t.Fatalf("direct function count = %d, want 13", direct)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	cases := []struct {
+		op       Op
+		name     string
+		mnemonic string
+	}{
+		{OpIn, "input message", "in"},
+		{OpOut, "output message", "out"},
+		{OpStartp, "start process", "startp"},
+		{OpEndp, "end process", "endp"},
+		{OpAdd, "add", "add"},
+		{OpMul, "multiply", "mul"},
+		{OpMove, "move message", "move"},
+		{OpAltwt, "alt wait", "altwt"},
+	}
+	for _, c := range cases {
+		if got := c.op.Name(); got != c.name {
+			t.Errorf("%v.Name() = %q, want %q", c.op, got, c.name)
+		}
+		if got := c.op.Mnemonic(); got != c.mnemonic {
+			t.Errorf("%v.Mnemonic() = %q, want %q", c.op, got, c.mnemonic)
+		}
+		if op, ok := OpByMnemonic(c.mnemonic); !ok || op != c.op {
+			t.Errorf("OpByMnemonic(%q) = %v,%v", c.mnemonic, op, ok)
+		}
+	}
+}
+
+// TestFrequentOpsSingleByte checks the encoding choice the paper calls
+// out: the most frequently occurring operations are representable
+// without a prefixing instruction.
+func TestFrequentOpsSingleByte(t *testing.T) {
+	frequent := []Op{
+		OpAdd, OpSub, OpGt, OpIn, OpOut, OpStartp, OpEndp, OpProd,
+		OpRev, OpLb, OpBsub, OpWsub, OpDiff, OpGcall, OpOutbyte, OpOutword,
+	}
+	for _, op := range frequent {
+		if got := len(EncodeOp(nil, op)); got != 1 {
+			t.Errorf("%s encodes in %d bytes, want 1", op.Name(), got)
+		}
+	}
+	// Less frequent operations need exactly one prefixing instruction;
+	// nothing requires more than that (operations < 256).
+	for _, op := range Ops() {
+		n := len(EncodeOp(nil, op))
+		if op < 16 && n != 1 {
+			t.Errorf("%s: %d bytes, want 1", op.Name(), n)
+		}
+		if op >= 16 && n != 2 {
+			t.Errorf("%s: %d bytes, want 2", op.Name(), n)
+		}
+	}
+}
+
+func TestOpDefined(t *testing.T) {
+	if !OpMul.Defined() {
+		t.Error("mul should be defined")
+	}
+	if Op(0x1FF).Defined() {
+		t.Error("0x1FF should not be defined")
+	}
+}
+
+func TestOpsOrderedAndUnique(t *testing.T) {
+	seen := map[Op]bool{}
+	for _, op := range Ops() {
+		if seen[op] {
+			t.Fatalf("duplicate operation code %#x", uint16(op))
+		}
+		seen[op] = true
+	}
+	if len(seen) < 70 {
+		t.Fatalf("only %d operations defined; expected a substantial set", len(seen))
+	}
+}

@@ -1,0 +1,119 @@
+package isa
+
+import "testing"
+
+// TestPaperSequenceCycles reproduces the cycle counts of the paper's
+// instruction-sequence tables (sections 3.2.6 and 3.2.9) directly from
+// the timing model.
+func TestPaperSequenceCycles(t *testing.T) {
+	// x := 0  =>  load constant 0 (1) ; store local x (1)   = 2 cycles
+	if c := FunctionCycles(FnLdc) + FunctionCycles(FnStl); c != 2 {
+		t.Errorf("x := 0 costs %d cycles, want 2", c)
+	}
+	// x := y  =>  load local y (2) ; store local x (1)      = 3 cycles
+	if c := FunctionCycles(FnLdl) + FunctionCycles(FnStl); c != 3 {
+		t.Errorf("x := y costs %d cycles, want 3", c)
+	}
+	// z := 1  =>  ldc 1 (1) ; load local staticlink (2) ; store non
+	// local z (2)                                           = 5 cycles
+	if c := FunctionCycles(FnLdc) + FunctionCycles(FnLdl) + FunctionCycles(FnStnl); c != 5 {
+		t.Errorf("z := 1 costs %d cycles, want 5", c)
+	}
+	// x + 2   =>  load local x (2) ; add constant 2 (1)     = 3 cycles
+	if c := FunctionCycles(FnLdl) + FunctionCycles(FnAdc); c != 3 {
+		t.Errorf("x + 2 costs %d cycles, want 3", c)
+	}
+}
+
+// TestMultiplyCycles: the paper's expression table gives multiply as 2
+// bytes and 7+wordlength cycles (one prefix byte plus the operation).
+func TestMultiplyCycles(t *testing.T) {
+	for _, bits := range []int{16, 32} {
+		op, fixed := OpCycles(OpMul, bits)
+		if !fixed {
+			t.Fatal("mul should have fixed cost")
+		}
+		total := CyclesPerPrefix + op
+		if total != 7+bits {
+			t.Errorf("wordBits=%d: multiply total = %d cycles, want %d", bits, total, 7+bits)
+		}
+	}
+}
+
+// TestExpressionTableTotal checks the full (v+w)*(y+z) sequence:
+// ldl v(2) ldl w(2) add(1) ldl y(2) ldl z(2) add(1) mul(7+wordlength).
+func TestExpressionTableTotal(t *testing.T) {
+	add, _ := OpCycles(OpAdd, 32)
+	mul, _ := OpCycles(OpMul, 32)
+	total := 4*FunctionCycles(FnLdl) + 2*add + (CyclesPerPrefix + mul)
+	want := 2 + 2 + 1 + 2 + 2 + 1 + (7 + 32)
+	if total != want {
+		t.Errorf("(v+w)*(y+z) = %d cycles, want %d", total, want)
+	}
+}
+
+// TestCommunicationCycles checks the paper's communication formula:
+// max(24, 21+(8*n)/wordlength) cycles.
+func TestCommunicationCycles(t *testing.T) {
+	cases := []struct {
+		n, bits, want int
+	}{
+		{1, 32, 24},   // 21+0 -> floor, clamped to 24
+		{4, 32, 24},   // 21+1 = 22 -> 24
+		{16, 32, 25},  // 21+4
+		{64, 32, 37},  // 21+16
+		{256, 32, 85}, // 21+64
+		{4, 16, 24},   // 21+2 -> 24
+		{64, 16, 53},  // 21+32
+	}
+	for _, c := range cases {
+		if got := CommunicationCycles(c.n, c.bits); got != c.want {
+			t.Errorf("CommunicationCycles(%d, %d) = %d, want %d", c.n, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestVariableCostOps(t *testing.T) {
+	for _, op := range []Op{OpIn, OpOut, OpOutbyte, OpOutword, OpMove,
+		OpShl, OpShr, OpLshl, OpLshr, OpProd, OpNorm, OpLend, OpAltwt,
+		OpTaltwt, OpTin} {
+		if _, fixed := OpCycles(op, 32); fixed {
+			t.Errorf("%s should report a variable cost", op.Name())
+		}
+	}
+}
+
+func TestHelperCosts(t *testing.T) {
+	if MoveCycles(16, 32) != 8+2*4 {
+		t.Errorf("MoveCycles(16,32) = %d", MoveCycles(16, 32))
+	}
+	if MoveCycles(1, 32) != 10 {
+		t.Errorf("MoveCycles(1,32) = %d", MoveCycles(1, 32))
+	}
+	if ShiftCycles(5) != 7 || LongShiftCycles(5) != 8 {
+		t.Error("shift cycle helpers wrong")
+	}
+	if ProdCycles(0) != 4 || ProdCycles(8) != 12 {
+		t.Error("prod cycle helper wrong")
+	}
+	if LendCycles(true) != 10 || LendCycles(false) != 5 {
+		t.Error("lend cycle helper wrong")
+	}
+	if AltwtCycles(true) != 5 || AltwtCycles(false) != 17 {
+		t.Error("altwt cycle helper wrong")
+	}
+	if TinCycles(true) != 4 || TinCycles(false) != 30 {
+		t.Error("tin cycle helper wrong")
+	}
+}
+
+// TestPrioritySwitchConstants pins the paper's figures: 58-cycle bound
+// for priority 1 to 0, 17 cycles for 0 to 1.
+func TestPrioritySwitchConstants(t *testing.T) {
+	if MaxPriority1To0Cycles != 58 {
+		t.Errorf("MaxPriority1To0Cycles = %d, want 58", MaxPriority1To0Cycles)
+	}
+	if ResumeLowCycles != 17 {
+		t.Errorf("ResumeLowCycles = %d, want 17", ResumeLowCycles)
+	}
+}

@@ -1,0 +1,159 @@
+package link
+
+import (
+	"testing"
+
+	"transputer/internal/core"
+	"transputer/internal/sim"
+)
+
+// Engine-level tests: drive BeginOutput/BeginInput directly against
+// machine memory, without processors executing.
+
+func enginePair(t *testing.T) (*sim.Kernel, *core.Machine, *Engine, *core.Machine, *Engine) {
+	t.Helper()
+	k := sim.NewKernel()
+	ma := core.MustNew(core.T424().WithMemory(16 * 1024))
+	mb := core.MustNew(core.T424().WithMemory(16 * 1024))
+	ea := NewEngine(k, ma)
+	eb := NewEngine(k, mb)
+	Connect(ea, 2, eb, 1)
+	return k, ma, ea, mb, eb
+}
+
+func TestEngineTransfer(t *testing.T) {
+	k, ma, ea, mb, eb := enginePair(t)
+	src := ma.MemStart() + 64
+	dst := mb.MemStart() + 128
+	msg := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x42}
+	ma.WriteBytes(src, msg)
+
+	// The receiver posts first so the very first byte's acknowledge
+	// overlaps its reception (otherwise the first byte costs two extra
+	// bit times).
+	var sentAt, recvAt sim.Time
+	eb.BeginInput(1, dst, len(msg), func() { recvAt = k.Now() })
+	ea.BeginOutput(2, src, len(msg), func() { sentAt = k.Now() })
+	k.Run()
+
+	got := mb.ReadBytes(dst, len(msg))
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], msg[i])
+		}
+	}
+	want := sim.Time(len(msg) * DataBits * BitNs)
+	if recvAt != want || sentAt != want {
+		t.Errorf("sent %v recv %v, want %v", sentAt, recvAt, want)
+	}
+	st := ea.WireStats(2)
+	if st.DataBytes != uint64(len(msg)) {
+		t.Errorf("wire carried %d data bytes", st.DataBytes)
+	}
+	if rst := eb.WireStats(1); rst.Acks != uint64(len(msg)) {
+		t.Errorf("reverse wire carried %d acks", rst.Acks)
+	}
+}
+
+func TestEngineConnected(t *testing.T) {
+	_, _, ea, _, _ := enginePair(t)
+	if !ea.Connected(2) {
+		t.Error("link 2 should be connected")
+	}
+	if ea.Connected(0) || ea.Connected(3) {
+		t.Error("links 0 and 3 should be unconnected")
+	}
+	if ea.Connected(-1) || ea.Connected(4) {
+		t.Error("out-of-range links are never connected")
+	}
+	if st := ea.WireStats(0); st.DataBytes != 0 {
+		t.Error("unconnected wire stats should be zero")
+	}
+}
+
+func TestEngineZeroLength(t *testing.T) {
+	k, ma, ea, mb, eb := enginePair(t)
+	sent, recvd := false, false
+	ea.BeginOutput(2, ma.MemStart(), 0, func() { sent = true })
+	eb.BeginInput(1, mb.MemStart(), 0, func() { recvd = true })
+	k.Run()
+	if !sent || !recvd {
+		t.Error("zero-length transfers should complete immediately")
+	}
+}
+
+func TestEngineUnconnectedNeverCompletes(t *testing.T) {
+	k := sim.NewKernel()
+	m := core.MustNew(core.T424().WithMemory(16 * 1024))
+	e := NewEngine(k, m)
+	done := false
+	e.BeginOutput(0, m.MemStart(), 4, func() { done = true })
+	k.Run()
+	if done {
+		t.Error("output on an unconnected link must wait forever")
+	}
+}
+
+func TestEngineAltArming(t *testing.T) {
+	k, ma, ea, mb, eb := enginePair(t)
+	// Arm before any data: not ready.
+	fired := false
+	if eb.EnableInput(1, func() { fired = true }) {
+		t.Fatal("no data yet: enable should report not ready")
+	}
+	// A byte arrives: the armed callback fires.
+	ma.WriteBytes(ma.MemStart(), []byte{7})
+	ea.BeginOutput(2, ma.MemStart(), 1, nil)
+	k.Run()
+	if !fired {
+		t.Fatal("armed input did not signal")
+	}
+	// Disable reports data available; a fresh enable is immediately
+	// ready.
+	if !eb.DisableInput(1) {
+		t.Error("disable should report buffered data")
+	}
+	if !eb.EnableInput(1, func() {}) {
+		t.Error("re-enable should be immediately ready")
+	}
+	eb.DisableInput(1)
+	// The buffered byte can now be collected.
+	got := false
+	eb.BeginInput(1, mb.MemStart()+64, 1, func() { got = true })
+	k.Run()
+	if !got || mb.ReadBytes(mb.MemStart()+64, 1)[0] != 7 {
+		t.Error("buffered byte not delivered")
+	}
+}
+
+func TestEngineBusyChannelIgnoresSecondTransfer(t *testing.T) {
+	k, ma, ea, mb, eb := enginePair(t)
+	ma.WriteBytes(ma.MemStart(), []byte{1, 2, 3, 4})
+	first := false
+	ea.BeginOutput(2, ma.MemStart(), 4, func() { first = true })
+	// A second output on the same busy channel end is an occam program
+	// error; the engine must not corrupt the first.
+	ea.BeginOutput(2, ma.MemStart(), 4, func() { t.Error("second transfer must not complete") })
+	eb.BeginInput(1, mb.MemStart()+64, 4, nil)
+	k.Run()
+	if !first {
+		t.Error("first transfer should complete")
+	}
+}
+
+// TestStopAndWaitTiming: with the ablation enabled the acknowledge
+// follows reception, costing 13 bit times per byte.
+func TestStopAndWaitTiming(t *testing.T) {
+	k, ma, ea, mb, eb := enginePair(t)
+	eb.SetStopAndWait(true)
+	const n = 100
+	ma.WriteBytes(ma.MemStart(), make([]byte, n))
+	var done sim.Time
+	ea.BeginOutput(2, ma.MemStart(), n, func() { done = k.Now() })
+	eb.BeginInput(1, mb.MemStart()+256, n, nil)
+	k.Run()
+	want := sim.Time(n * (DataBits + AckBits) * BitNs)
+	if done != want {
+		t.Errorf("stop-and-wait finished at %v, want %v", done, want)
+	}
+}

@@ -1,0 +1,86 @@
+package link
+
+import "transputer/internal/sim"
+
+// HostEnd is one end of a link wired to the host development system
+// rather than to another transputer (the paper's workstation of section
+// 4.1 is programmed this way: transputers talk to peripherals over
+// standard links).  It speaks the same bit-level protocol, so traffic
+// to and from the host is paced exactly like inter-transputer traffic.
+type HostEnd struct {
+	k   *sim.Kernel
+	out *outHalf
+	in  *inHalf
+}
+
+// NewHostEnd creates an unconnected host link end.
+func NewHostEnd(k *sim.Kernel) *HostEnd {
+	return &HostEnd{k: k, out: &outHalf{}, in: &inHalf{}}
+}
+
+// ConnectHost wires link l of a transputer's engine to the host end.
+func ConnectHost(e *Engine, l int, h *HostEnd) {
+	th := &wire{k: e.k, bitNs: BitNs} // transputer -> host
+	ht := &wire{k: e.k, bitNs: BitNs} // host -> transputer
+	e.outs[l].wire = th
+	e.outs[l].peer = h.in
+	e.ins[l].ackWire = th
+	e.ins[l].peerOut = h.out
+	h.out.wire = ht
+	h.out.peer = e.ins[l]
+	h.in.ackWire = ht
+	h.in.peerOut = e.outs[l]
+}
+
+// SetStopAndWait switches the host end's receiver between overlapped
+// and stop-and-wait acknowledges (see Engine.SetStopAndWait).
+func (h *HostEnd) SetStopAndWait(v bool) { h.in.stopAndWait = v }
+
+// ConnectHosts wires two host ends back to back; used to test the
+// protocol machinery in isolation.
+func ConnectHosts(a, b *HostEnd) {
+	ab := &wire{k: a.k, bitNs: BitNs}
+	ba := &wire{k: b.k, bitNs: BitNs}
+	a.out.wire = ab
+	a.out.peer = b.in
+	a.in.ackWire = ab
+	a.in.peerOut = b.out
+	b.out.wire = ba
+	b.out.peer = a.in
+	b.in.ackWire = ba
+	b.in.peerOut = a.out
+}
+
+// Send transmits data to the transputer, calling done when the final
+// byte has been acknowledged.
+func (h *HostEnd) Send(data []byte, done func()) {
+	if h.out.active {
+		panic("link: host end already sending")
+	}
+	if len(data) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	buf := append([]byte(nil), data...)
+	h.out.start(func(i int) byte { return buf[i] }, len(buf), func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Recv receives exactly n bytes from the transputer, then calls fn with
+// them.
+func (h *HostEnd) Recv(n int, fn func([]byte)) {
+	if h.in.active {
+		panic("link: host end already receiving")
+	}
+	if n == 0 {
+		fn(nil)
+		return
+	}
+	buf := make([]byte, n)
+	h.in.start(func(i int, b byte) { buf[i] = b }, n, func() { fn(buf) })
+}

@@ -1,0 +1,381 @@
+// Package link implements the inter-transputer link protocol of "The
+// Transputer" (Whitby-Strevens, ISCA 1985), section 2.3 and figure 1.
+//
+// A link between two transputers provides a pair of occam channels, one
+// in each direction, carried on two one-directional signal lines.  Each
+// data byte is transmitted as a start bit, a one bit, eight data bits
+// and a stop bit (11 bit times); an acknowledge is a start bit followed
+// by a zero bit (2 bit times).  Data bytes and acknowledges are
+// multiplexed down each signal line.
+//
+// An acknowledge is transmitted as soon as reception of a data byte
+// starts — if there is a process waiting for it and there is room to
+// buffer another — so transmission may be continuous.  A single byte
+// buffer in each receiver ensures no information is lost: when no
+// process is waiting, the byte is buffered and the acknowledge is
+// withheld until a process inputs it.
+package link
+
+import (
+	"transputer/internal/core"
+	"transputer/internal/sim"
+)
+
+// Protocol constants (paper, 2.3/2.3.1): the standard transmission rate
+// is 10 MHz, about 1 Mbyte/s in each direction of each link.
+const (
+	// BitNs is one bit time at the standard 10 Mbit/s rate.
+	BitNs = 100
+	// DataBits is the length of a data packet: start bit, one bit,
+	// eight data bits, stop bit.
+	DataBits = 11
+	// AckBits is the length of an acknowledge packet: start bit, zero
+	// bit.
+	AckBits = 2
+)
+
+// WireStats counts traffic on one signal line.
+type WireStats struct {
+	DataBytes uint64
+	Acks      uint64
+	BusyNs    int64
+}
+
+// packet is one frame queued on a wire.
+type packet struct {
+	bits    int
+	isAck   bool
+	onStart func()
+	onEnd   func()
+}
+
+// wire is a one-directional signal line: a serializer with priority for
+// acknowledges (so a long data stream in one direction cannot starve
+// the acknowledges of the reverse channel).
+type wire struct {
+	k     *sim.Kernel
+	bitNs int64
+	busy  bool
+	acks  []packet // pending acknowledges (sent first)
+	data  []packet // pending data bytes
+	stats WireStats
+}
+
+func (w *wire) send(p packet) {
+	if p.isAck {
+		w.acks = append(w.acks, p)
+	} else {
+		w.data = append(w.data, p)
+	}
+	if !w.busy {
+		w.transmitNext()
+	}
+}
+
+func (w *wire) transmitNext() {
+	var p packet
+	switch {
+	case len(w.acks) > 0:
+		p = w.acks[0]
+		w.acks = w.acks[1:]
+	case len(w.data) > 0:
+		p = w.data[0]
+		w.data = w.data[1:]
+	default:
+		w.busy = false
+		return
+	}
+	w.busy = true
+	dur := int64(p.bits) * w.bitNs
+	w.stats.BusyNs += dur
+	if p.isAck {
+		w.stats.Acks++
+	} else {
+		w.stats.DataBytes++
+	}
+	if p.onStart != nil {
+		p.onStart()
+	}
+	w.k.After(sim.Time(dur), func() {
+		if p.onEnd != nil {
+			p.onEnd()
+		}
+		w.transmitNext()
+	})
+}
+
+// outHalf is the sending side of one channel of a link.  The data
+// source is a per-transfer closure so both transputer memory and host
+// devices can feed it.
+type outHalf struct {
+	wire *wire // this end's outgoing signal line for the link
+	peer *inHalf
+
+	active  bool
+	read    func(i int) byte
+	count   int
+	sent    int
+	done    func()
+	txEnded bool // current byte finished transmitting
+	acked   bool // current byte acknowledged
+}
+
+// inHalf is the receiving side of one channel of a link.
+type inHalf struct {
+	ackWire *wire    // this end's outgoing line, used for acknowledges
+	peerOut *outHalf // the sender our acknowledges go to
+
+	active   bool
+	write    func(i int, b byte)
+	count    int
+	received int
+	done     func()
+
+	buffer      byte
+	bufferValid bool
+	armed       func() // alternative-input readiness callback
+
+	// ackSentAtStart records whether the acknowledge for the byte
+	// currently in flight was issued at reception start.
+	ackSentAtStart bool
+
+	// stopAndWait suppresses the overlapped acknowledge: the ack is
+	// only sent after the data byte has fully arrived.  Used by the
+	// ablation benchmarks to quantify what figure 1's early
+	// acknowledge buys.
+	stopAndWait bool
+}
+
+// Engine implements core.External for one machine: four link output
+// halves and four input halves.  Unconnected links never complete a
+// transfer, exactly like real hardware with nothing wired to the pins.
+type Engine struct {
+	k    *sim.Kernel
+	m    *core.Machine
+	outs [core.NumLinks]*outHalf
+	ins  [core.NumLinks]*inHalf
+}
+
+var _ core.External = (*Engine)(nil)
+
+// NewEngine builds a link engine for a machine and attaches it.
+func NewEngine(k *sim.Kernel, m *core.Machine) *Engine {
+	e := &Engine{k: k, m: m}
+	for i := range e.outs {
+		e.outs[i] = &outHalf{}
+		e.ins[i] = &inHalf{}
+	}
+	return e
+}
+
+// Connect wires link la of engine a to link lb of engine b with a pair
+// of signal lines.
+func Connect(a *Engine, la int, b *Engine, lb int) {
+	ab := &wire{k: a.k, bitNs: BitNs}
+	ba := &wire{k: b.k, bitNs: BitNs}
+	a.outs[la].wire = ab
+	a.outs[la].peer = b.ins[lb]
+	a.ins[la].ackWire = ab
+	a.ins[la].peerOut = b.outs[lb]
+	b.outs[lb].wire = ba
+	b.outs[lb].peer = a.ins[la]
+	b.ins[lb].ackWire = ba
+	b.ins[lb].peerOut = a.outs[la]
+}
+
+// Connected reports whether link i has been wired.
+func (e *Engine) Connected(i int) bool {
+	return i >= 0 && i < core.NumLinks && e.outs[i].wire != nil
+}
+
+// WireStats returns the traffic counters of link i's outgoing line.
+func (e *Engine) WireStats(i int) WireStats {
+	if !e.Connected(i) {
+		return WireStats{}
+	}
+	return e.outs[i].wire.stats
+}
+
+// BeginOutput starts transmitting count bytes from machine memory.
+func (e *Engine) BeginOutput(link int, ptr uint64, count int, done func()) {
+	o := e.outs[link]
+	if o.active {
+		// Two processes using one channel end is an occam program
+		// error; mirror hardware by corrupting nothing and hanging.
+		return
+	}
+	if count == 0 {
+		done()
+		return
+	}
+	m := e.m
+	o.start(func(i int) byte { return m.ReadBytes(ptr+uint64(i), 1)[0] }, count, done)
+}
+
+func (o *outHalf) start(read func(i int) byte, count int, done func()) {
+	o.active = true
+	o.read = read
+	o.count = count
+	o.sent = 0
+	o.done = done
+	if o.wire == nil {
+		return // unconnected: waits forever
+	}
+	o.sendByte()
+}
+
+func (o *outHalf) sendByte() {
+	b := o.read(o.sent)
+	o.txEnded = false
+	o.acked = false
+	in := o.peer
+	o.wire.send(packet{
+		bits:    DataBits,
+		onStart: func() { in.dataStart() },
+		onEnd: func() {
+			in.dataArrive(b)
+			o.txEnd()
+		},
+	})
+}
+
+func (o *outHalf) txEnd() {
+	o.txEnded = true
+	o.advance()
+}
+
+func (o *outHalf) ackArrived() {
+	o.acked = true
+	o.advance()
+}
+
+// advance moves to the next byte once the current byte has both
+// finished transmitting and been acknowledged.  "The sending process may
+// proceed only after the acknowledge for the final byte of the message
+// has been received."
+func (o *outHalf) advance() {
+	if !o.active || !o.txEnded || !o.acked {
+		return
+	}
+	o.sent++
+	if o.sent == o.count {
+		o.active = false
+		done := o.done
+		o.done = nil
+		if done != nil {
+			done()
+		}
+		return
+	}
+	o.sendByte()
+}
+
+// BeginInput starts receiving count bytes into machine memory.
+func (e *Engine) BeginInput(link int, ptr uint64, count int, done func()) {
+	in := e.ins[link]
+	if in.active {
+		return
+	}
+	if count == 0 {
+		done()
+		return
+	}
+	m := e.m
+	in.start(func(i int, b byte) { m.WriteBytes(ptr+uint64(i), []byte{b}) }, count, done)
+}
+
+func (in *inHalf) start(write func(i int, b byte), count int, done func()) {
+	in.active = true
+	in.write = write
+	in.count = count
+	in.received = 0
+	in.done = done
+	if in.bufferValid {
+		// A byte arrived before the process was ready; consume it and
+		// release the withheld acknowledge.
+		b := in.buffer
+		in.bufferValid = false
+		in.store(b)
+		in.sendAck()
+	}
+}
+
+// dataStart fires when a data packet begins arriving: the acknowledge
+// goes out immediately if a process is waiting, making streaming
+// continuous.
+func (in *inHalf) dataStart() {
+	in.ackSentAtStart = false
+	if in.active && !in.stopAndWait {
+		in.sendAck()
+		in.ackSentAtStart = true
+	}
+}
+
+// dataArrive fires when the data packet completes.
+func (in *inHalf) dataArrive(b byte) {
+	if in.active {
+		in.store(b)
+		if !in.ackSentAtStart {
+			// The process turned up while the byte was in flight.
+			in.sendAck()
+		}
+		return
+	}
+	// No process waiting: hold the byte in the single-byte buffer; the
+	// acknowledge is withheld until a process inputs it.
+	in.buffer = b
+	in.bufferValid = true
+	if in.armed != nil {
+		ready := in.armed
+		in.armed = nil
+		ready()
+	}
+}
+
+func (in *inHalf) store(b byte) {
+	in.write(in.received, b)
+	in.received++
+	if in.received == in.count {
+		in.active = false
+		done := in.done
+		in.done = nil
+		if done != nil {
+			done()
+		}
+	}
+}
+
+func (in *inHalf) sendAck() {
+	out := in.peerOut
+	in.ackWire.send(packet{
+		bits:  AckBits,
+		isAck: true,
+		onEnd: func() { out.ackArrived() },
+	})
+}
+
+// SetStopAndWait switches this engine's receivers between the paper's
+// overlapped acknowledge (false, the default) and a plain
+// stop-and-wait handshake (true).
+func (e *Engine) SetStopAndWait(v bool) {
+	for _, in := range e.ins {
+		in.stopAndWait = v
+	}
+}
+
+// EnableInput arms alternative-input readiness signalling.
+func (e *Engine) EnableInput(link int, ready func()) bool {
+	in := e.ins[link]
+	if in.bufferValid {
+		return true
+	}
+	in.armed = ready
+	return false
+}
+
+// DisableInput disarms signalling and reports data availability.
+func (e *Engine) DisableInput(link int) bool {
+	in := e.ins[link]
+	in.armed = nil
+	return in.bufferValid
+}

@@ -1,0 +1,189 @@
+package network
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"transputer/internal/sim"
+)
+
+// Topology is a parsed network description: the text format used by
+// the tnet tool to configure a system of transputers, in the spirit of
+// occam configuration.
+//
+//	# a three-transputer workstation (paper, figure 6)
+//	transputer app  t424 mem=64K program=app.occ
+//	transputer disk t424 mem=64K program=disk.occ
+//	transputer gfx  t424 mem=64K program=gfx.occ
+//	connect app.1 disk.0
+//	connect app.2 gfx.0
+//	host app.0
+//	input app 5 10
+//	run 100ms
+type Topology struct {
+	Transputers []TransputerSpec
+	Connections []Connection
+	Hosts       []HostSpec
+	Inputs      map[string][]int64
+	RunLimit    sim.Time
+}
+
+// TransputerSpec describes one node.
+type TransputerSpec struct {
+	Name     string
+	Model    string // "t424" or "t222"
+	MemBytes int    // 0 means the model default
+	Program  string // path to .occ or .tasm source
+}
+
+// Connection joins two link ends.
+type Connection struct {
+	A     string
+	ALink int
+	B     string
+	BLink int
+}
+
+// HostSpec attaches a host device to a node's link.
+type HostSpec struct {
+	Node string
+	Link int
+}
+
+// ParseTopology reads the text format above.
+func ParseTopology(src string) (*Topology, error) {
+	topo := &Topology{Inputs: make(map[string][]int64)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("topology line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "transputer":
+			if len(fields) < 3 {
+				return nil, fail("transputer needs a name and model")
+			}
+			spec := TransputerSpec{Name: fields[1], Model: strings.ToLower(fields[2])}
+			if spec.Model != "t424" && spec.Model != "t222" {
+				return nil, fail("unknown model %q", fields[2])
+			}
+			for _, opt := range fields[3:] {
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok {
+					return nil, fail("bad option %q", opt)
+				}
+				switch k {
+				case "mem":
+					n, err := parseSize(v)
+					if err != nil {
+						return nil, fail("bad memory size %q", v)
+					}
+					spec.MemBytes = n
+				case "program":
+					spec.Program = v
+				default:
+					return nil, fail("unknown option %q", k)
+				}
+			}
+			topo.Transputers = append(topo.Transputers, spec)
+		case "connect":
+			if len(fields) != 3 {
+				return nil, fail("connect needs two link ends")
+			}
+			a, al, err1 := parseEnd(fields[1])
+			b, bl, err2 := parseEnd(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad link end")
+			}
+			topo.Connections = append(topo.Connections, Connection{A: a, ALink: al, B: b, BLink: bl})
+		case "host":
+			if len(fields) != 2 {
+				return nil, fail("host needs one link end")
+			}
+			n, l, err := parseEnd(fields[1])
+			if err != nil {
+				return nil, fail("bad link end %q", fields[1])
+			}
+			topo.Hosts = append(topo.Hosts, HostSpec{Node: n, Link: l})
+		case "input":
+			if len(fields) < 3 {
+				return nil, fail("input needs a node and at least one word")
+			}
+			for _, f := range fields[2:] {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fail("bad input word %q", f)
+				}
+				topo.Inputs[fields[1]] = append(topo.Inputs[fields[1]], v)
+			}
+		case "run":
+			if len(fields) != 2 {
+				return nil, fail("run needs a duration")
+			}
+			d, err := parseDuration(fields[1])
+			if err != nil {
+				return nil, fail("bad duration %q", fields[1])
+			}
+			topo.RunLimit = d
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	return topo, nil
+}
+
+func parseEnd(s string) (node string, link int, err error) {
+	node, ls, ok := strings.Cut(s, ".")
+	if !ok || node == "" {
+		return "", 0, fmt.Errorf("bad link end %q", s)
+	}
+	link, err = strconv.Atoi(ls)
+	return node, link, err
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult = 1024
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult = 1024 * 1024
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+func parseDuration(s string) (sim.Time, error) {
+	mult := sim.Nanosecond
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		mult = sim.Millisecond
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		mult = sim.Microsecond
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		mult = sim.Second
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(n) * mult, nil
+}

@@ -1,0 +1,87 @@
+package network
+
+import (
+	"testing"
+
+	"transputer/internal/sim"
+)
+
+func TestParseTopology(t *testing.T) {
+	src := `
+# the workstation of figure 6
+transputer app  t424 mem=64K program=app.occ
+transputer disk t424 program=disk.occ
+transputer gfx  t222 mem=1M
+connect app.1 disk.0
+connect app.2 gfx.0
+host app.0
+input app 5 -10
+run 100ms
+`
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Transputers) != 3 {
+		t.Fatalf("transputers = %d", len(topo.Transputers))
+	}
+	if topo.Transputers[0].Name != "app" || topo.Transputers[0].MemBytes != 64*1024 ||
+		topo.Transputers[0].Program != "app.occ" {
+		t.Errorf("app spec = %+v", topo.Transputers[0])
+	}
+	if topo.Transputers[2].Model != "t222" || topo.Transputers[2].MemBytes != 1024*1024 {
+		t.Errorf("gfx spec = %+v", topo.Transputers[2])
+	}
+	if len(topo.Connections) != 2 {
+		t.Fatalf("connections = %d", len(topo.Connections))
+	}
+	c := topo.Connections[0]
+	if c.A != "app" || c.ALink != 1 || c.B != "disk" || c.BLink != 0 {
+		t.Errorf("connection = %+v", c)
+	}
+	if len(topo.Hosts) != 1 || topo.Hosts[0].Node != "app" || topo.Hosts[0].Link != 0 {
+		t.Errorf("hosts = %+v", topo.Hosts)
+	}
+	if got := topo.Inputs["app"]; len(got) != 2 || got[0] != 5 || got[1] != -10 {
+		t.Errorf("inputs = %v", got)
+	}
+	if topo.RunLimit != 100*sim.Millisecond {
+		t.Errorf("run limit = %v", topo.RunLimit)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []string{
+		"transputer x",
+		"transputer x t999",
+		"transputer x t424 mem=abc",
+		"transputer x t424 frobnicate=1",
+		"connect a.0",
+		"connect a.0 b.x",
+		"host a",
+		"input a",
+		"input a xyz",
+		"run forever",
+		"banana split",
+	}
+	for _, src := range cases {
+		if _, err := ParseTopology(src); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := map[string]sim.Time{
+		"5ms":   5 * sim.Millisecond,
+		"10us":  10 * sim.Microsecond,
+		"100ns": 100,
+		"2s":    2 * sim.Second,
+	}
+	for s, want := range cases {
+		got, err := parseDuration(s)
+		if err != nil || got != want {
+			t.Errorf("parseDuration(%q) = %v, %v", s, got, err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package network builds systems of transputers: "a system is
+// constructed from a collection of transputers which operate
+// concurrently and communicate through the standard links" (paper,
+// 2.1).  It wires machines together with link engines, attaches host
+// devices, and drives everything from one deterministic event kernel.
+package network
+
+import (
+	"fmt"
+	"io"
+
+	"transputer/internal/core"
+	"transputer/internal/link"
+	"transputer/internal/sim"
+)
+
+// Node is one transputer in a system.
+type Node struct {
+	Name   string
+	M      *core.Machine
+	Engine *link.Engine
+	runner *core.Runner
+	wired  [core.NumLinks]bool
+}
+
+// System is a collection of transputers and host devices sharing a
+// simulation kernel.
+type System struct {
+	Kernel *sim.Kernel
+	nodes  []*Node
+	byName map[string]*Node
+	hosts  []*Host
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{Kernel: sim.NewKernel(), byName: make(map[string]*Node)}
+}
+
+// AddTransputer creates a node.  The configuration's Name is replaced
+// by the node name.
+func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("network: duplicate transputer name %q", name)
+	}
+	cfg.Name = name
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Name: name, M: m}
+	n.runner = core.NewRunner(s.Kernel, m)
+	n.Engine = link.NewEngine(s.Kernel, m)
+	m.Attach(kernelClock{s.Kernel}, n.Engine)
+	s.nodes = append(s.nodes, n)
+	s.byName[name] = n
+	return n, nil
+}
+
+// kernelClock adapts the kernel to core.Clock.
+type kernelClock struct{ k *sim.Kernel }
+
+func (c kernelClock) Now() sim.Time                        { return c.k.Now() }
+func (c kernelClock) At(t sim.Time, fn func()) sim.EventID { return c.k.Schedule(t, fn) }
+func (c kernelClock) Cancel(id sim.EventID)                { c.k.Cancel(id) }
+
+// MustAddTransputer is AddTransputer for known-good configurations.
+func (s *System) MustAddTransputer(name string, cfg core.Config) *Node {
+	n, err := s.AddTransputer(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns a node by name.
+func (s *System) Node(name string) (*Node, bool) {
+	n, ok := s.byName[name]
+	return n, ok
+}
+
+// Nodes returns all nodes in creation order.
+func (s *System) Nodes() []*Node { return s.nodes }
+
+// Connect wires link la of node a to link lb of node b.
+func (s *System) Connect(a *Node, la int, b *Node, lb int) error {
+	if la < 0 || la >= core.NumLinks || lb < 0 || lb >= core.NumLinks {
+		return fmt.Errorf("network: link index out of range (%d, %d)", la, lb)
+	}
+	if a.wired[la] {
+		return fmt.Errorf("network: %s link %d already connected", a.Name, la)
+	}
+	if b.wired[lb] {
+		return fmt.Errorf("network: %s link %d already connected", b.Name, lb)
+	}
+	if a == b && la == lb {
+		return fmt.Errorf("network: cannot connect a link to itself")
+	}
+	link.Connect(a.Engine, la, b.Engine, lb)
+	a.wired[la] = true
+	b.wired[lb] = true
+	return nil
+}
+
+// MustConnect is Connect that panics on bad topology.
+func (s *System) MustConnect(a *Node, la int, b *Node, lb int) {
+	if err := s.Connect(a, la, b, lb); err != nil {
+		panic(err)
+	}
+}
+
+// AttachHost wires a host device to link l of the node, writing
+// program output to w (which may be nil).
+func (s *System) AttachHost(n *Node, l int, w io.Writer) (*Host, error) {
+	if l < 0 || l >= core.NumLinks {
+		return nil, fmt.Errorf("network: link index %d out of range", l)
+	}
+	if n.wired[l] {
+		return nil, fmt.Errorf("network: %s link %d already connected", n.Name, l)
+	}
+	h := newHost(s.Kernel, n, l, w)
+	n.wired[l] = true
+	s.hosts = append(s.hosts, h)
+	return h, nil
+}
+
+// Load places a program image on the node.
+func (n *Node) Load(img core.Image) error { return n.M.Load(img) }
+
+// Report describes the outcome of a run.
+type Report struct {
+	Time    sim.Time
+	Settled bool // event queue drained before the limit
+	// Running lists nodes that still had an executing process when the
+	// run stopped (only possible when !Settled).
+	Running []string
+	// Halted lists nodes stopped by faults or halt-on-error.
+	Halted []string
+	// Blocked lists nodes left idle with processes still waiting on
+	// channels, timers or events — in a settled system, the signature
+	// of deadlock (or of intentionally stopped processes).
+	Blocked []string
+}
+
+// Run starts every node and drives the kernel until it drains or the
+// limit passes (limit 0 means run to quiescence).  A settled system
+// with processes still blocked on channels is deadlocked, which the
+// caller can detect from its own completion signal (e.g. the host exit
+// command).
+func (s *System) Run(limit sim.Time) Report {
+	for _, n := range s.nodes {
+		n.runner.Start()
+	}
+	var rep Report
+	if limit > 0 {
+		rep.Settled = s.Kernel.RunUntil(limit)
+	} else {
+		s.Kernel.Run()
+		rep.Settled = true
+	}
+	rep.Time = s.Kernel.Now()
+	for _, n := range s.nodes {
+		switch {
+		case n.M.Halted():
+			rep.Halted = append(rep.Halted, n.Name)
+		case !n.M.Idle():
+			rep.Running = append(rep.Running, n.Name)
+		case n.M.WaitingProcesses() > 0:
+			rep.Blocked = append(rep.Blocked, n.Name)
+		}
+	}
+	return rep
+}
+
+// TotalStats sums the execution counters across every node.
+func (s *System) TotalStats() core.Stats {
+	var total core.Stats
+	for _, n := range s.nodes {
+		st := n.M.Stats()
+		total.Instructions += st.Instructions
+		total.InstructionBytes += st.InstructionBytes
+		total.SingleByte += st.SingleByte
+		total.Cycles += st.Cycles
+		total.Enqueues += st.Enqueues
+		total.Deschedules += st.Deschedules
+		total.Preemptions += st.Preemptions
+		total.Timeslices += st.Timeslices
+		total.MessagesIn += st.MessagesIn
+		total.MessagesOut += st.MessagesOut
+		total.BytesIn += st.BytesIn
+		total.BytesOut += st.BytesOut
+		total.ExternalIn += st.ExternalIn
+		total.ExternalOut += st.ExternalOut
+		total.CodeBytes += st.CodeBytes
+	}
+	return total
+}
+
+// Continue resumes a previously run system for another bounded slice.
+func (s *System) Continue(until sim.Time) Report {
+	var rep Report
+	rep.Settled = s.Kernel.RunUntil(until)
+	rep.Time = s.Kernel.Now()
+	return rep
+}

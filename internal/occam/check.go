@@ -1,0 +1,804 @@
+package occam
+
+import "fmt"
+
+// Semantic analysis: scopes, symbol binding, constant evaluation, and
+// structural checks.  The checker also creates the workspace frames:
+// one for the program, one per PROC body, and one per PAR component.
+
+type symbolKind int
+
+const (
+	symConst symbolKind = iota
+	symVar
+	symChan
+	symProc
+	symParam
+	symRep   // replicator index variable
+	symTable // DEF name = "string": a read-only byte table in code space
+)
+
+// symbol is a named entity bound by the checker.
+type symbol struct {
+	kind  symbolKind
+	name  string
+	pos   pos
+	frame *frame
+
+	// Variables, channels, replicators: workspace slot (word offset
+	// from the frame base).
+	offset int
+	array  bool
+	size   int // array length in words
+
+	// Channels: placement.
+	placed    bool
+	placeAddr int64
+
+	// Constants.
+	value int64
+
+	// String tables: the length-prefixed bytes, emitted into the code
+	// image.
+	tableData []byte
+
+	// Procedures.
+	proc *procInfo
+
+	// Parameters.
+	paramKind  paramKind
+	paramIndex int
+	procParams []*symbol // all parameters of the owning PROC
+}
+
+// procInfo carries everything the code generator needs about a PROC.
+type procInfo struct {
+	decl   *procDecl
+	frame  *frame
+	params []*symbol
+	label  string
+	// sized is set once workspace requirements are known.
+	sized bool
+	// emitted is set once the body has been queued for generation.
+	queued bool
+}
+
+// frame is one workspace: slots 0 and 1 are reserved (scratch /
+// alternative selection / end-process block), locals and replicator
+// blocks follow, then expression spill temporaries, then (for PROCs)
+// the slots of parameters beyond the third.
+type frame struct {
+	id      int
+	nLocal  int // next free local slot
+	maxTemp int // expression spill temporaries needed
+	// Sizing results (size.go).
+	above int // words at and above the frame base
+	below int // words below the frame base
+	sized bool
+	// PROC frames: extra parameter slots reserved at the top of the
+	// local area.
+	extraParams int
+}
+
+const frameReserved = 2 // slots 0 and 1
+
+func (f *frame) allocWords(n int) int {
+	off := f.nLocal
+	f.nLocal += n
+	return off
+}
+
+// scope is a lexical scope; procBoundary scopes hide outer variables
+// (occam PROCs here may reference only their parameters and global
+// constants — a documented subset restriction).
+type scope struct {
+	parent       *scope
+	names        map[string]*symbol
+	frame        *frame
+	procBoundary bool
+}
+
+func (s *scope) child(f *frame, boundary bool) *scope {
+	if f == nil {
+		f = s.frame
+	}
+	return &scope{parent: s, names: make(map[string]*symbol), frame: f, procBoundary: boundary}
+}
+
+func (s *scope) declare(sym *symbol) *Err {
+	if _, dup := s.names[sym.name]; dup {
+		return errf(sym.pos.line, sym.pos.col, "%q already declared in this scope", sym.name)
+	}
+	s.names[sym.name] = sym
+	return nil
+}
+
+// lookup resolves a name, honouring PROC boundaries: variables and
+// channels outside a PROC are invisible inside it.
+func (s *scope) lookup(name string) (*symbol, bool) {
+	crossed := false
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			if crossed && sym.kind != symConst && sym.kind != symProc {
+				return nil, false
+			}
+			return sym, true
+		}
+		if sc.procBoundary {
+			crossed = true
+		}
+	}
+	return nil, false
+}
+
+// checker drives resolution.
+type checker struct {
+	wordBytes  int
+	nextFrame  int
+	procs      []*procInfo // all PROCs, in declaration order
+	parsInfo   map[*parProc]*parInfo
+	repCounts  map[*replicator]int64 // constant counts for replicated PAR
+	timeGuards map[*altProc]bool
+	// procEffects holds per-parameter usage summaries (usage.go).
+	procEffects map[*procInfo][]paramEffects
+}
+
+// parInfo is the checker/sizer annotation for a PAR construct.
+type parInfo struct {
+	frames []*frame // one per component (one total when replicated)
+	// deltas: word offset of each component frame base from the
+	// enclosing frame base (negative).  Replicated PAR uses deltas[0]
+	// for copy 0 and stride for the rest.
+	deltas []int
+	stride int
+	count  int // replicated copy count
+	// linkSlot: replicated components share code, so each copy's frame
+	// holds the enclosing frame's base address in this slot.
+	linkSlot int
+}
+
+func newChecker(wordBytes int) *checker {
+	return &checker{
+		wordBytes:  wordBytes,
+		parsInfo:   make(map[*parProc]*parInfo),
+		repCounts:  make(map[*replicator]int64),
+		timeGuards: make(map[*altProc]bool),
+	}
+}
+
+func (c *checker) newFrame() *frame {
+	c.nextFrame++
+	return &frame{id: c.nextFrame, nLocal: frameReserved}
+}
+
+// builtinScope declares the predefined constants: TRUE/FALSE are
+// keywords; link channel addresses and integer bounds are DEFs.
+func (c *checker) builtinScope() *scope {
+	s := &scope{names: make(map[string]*symbol)}
+	bpw := int64(c.wordBytes)
+	bits := uint(c.wordBytes * 8)
+	mostneg := -(int64(1) << (bits - 1))
+	def := func(name string, v int64) {
+		s.names[name] = &symbol{kind: symConst, name: name, value: v}
+	}
+	for i := int64(0); i < 4; i++ {
+		def(fmt.Sprintf("LINK%dOUT", i), mostneg+i*bpw)
+		def(fmt.Sprintf("LINK%dIN", i), mostneg+(4+i)*bpw)
+	}
+	def("EVENT", mostneg+8*bpw)
+	def("MOSTNEG", mostneg)
+	def("MOSTPOS", (int64(1)<<(bits-1))-1)
+	return s
+}
+
+// run resolves the whole program, returning the root frame.
+func (c *checker) run(prog process) (*frame, *Err) {
+	root := c.newFrame()
+	sc := c.builtinScope().child(root, false)
+	if err := c.process(prog, sc); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+func (c *checker) process(p process, sc *scope) *Err {
+	switch v := p.(type) {
+	case *skipProc, *stopProc:
+		return nil
+	case *declProc:
+		inner := sc.child(nil, false)
+		// Channels that a later PLACE in the same group pins to a link
+		// address need no workspace slot.
+		placed := map[string]bool{}
+		for _, d := range v.decls {
+			if pd, ok := d.(*placeDecl); ok {
+				placed[pd.name] = true
+			}
+		}
+		for _, d := range v.decls {
+			if err := c.declare(d, inner, placed); err != nil {
+				return err
+			}
+		}
+		return c.process(v.body, inner)
+	case *assignProc:
+		if err := c.bindTarget(v.target, v.index, sc); err != nil {
+			return err
+		}
+		return c.expr(v.value, sc)
+	case *outputProc:
+		if err := c.bindChannel(v.ch, v.chIdx, sc); err != nil {
+			return err
+		}
+		for _, e := range v.values {
+			if err := c.expr(e, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *inputProc:
+		if err := c.bindChannel(v.ch, v.chIdx, sc); err != nil {
+			return err
+		}
+		for _, tgt := range v.targets {
+			if tgt.name == nil {
+				continue // ANY
+			}
+			if err := c.bindTarget(tgt.name, tgt.index, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *timeInputProc:
+		if v.after != nil {
+			return c.expr(v.after, sc)
+		}
+		return c.bindTarget(v.target, v.index, sc)
+	case *seqProc:
+		inner := sc
+		if v.rep != nil {
+			var err *Err
+			inner, err = c.replicator(v.rep, sc)
+			if err != nil {
+				return err
+			}
+		}
+		for _, sub := range v.procs {
+			if err := c.process(sub, inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *parProc:
+		return c.par(v, sc)
+	case *altProc:
+		return c.alt(v, sc)
+	case *ifProc:
+		for _, br := range v.branches {
+			if err := c.expr(br.cond, sc); err != nil {
+				return err
+			}
+			if err := c.process(br.body, sc.child(nil, false)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *whileProc:
+		if err := c.expr(v.cond, sc); err != nil {
+			return err
+		}
+		return c.process(v.body, sc.child(nil, false))
+	case *placedPar:
+		return errf(v.line, v.col, "PLACED PAR must be the outermost process (compile with CompileConfigured)")
+	case *callProc:
+		sym, ok := sc.lookup(v.name)
+		if !ok || sym.kind != symProc {
+			return errf(v.line, v.col, "%q is not a PROC", v.name)
+		}
+		v.sym = sym
+		if len(v.args) != len(sym.proc.params) {
+			return errf(v.line, v.col, "%q takes %d arguments, given %d",
+				v.name, len(sym.proc.params), len(v.args))
+		}
+		for i, a := range v.args {
+			if err := c.argument(a, sym.proc.params[i], sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return errf(0, 0, "checker: unhandled process %T", p)
+}
+
+func (c *checker) declare(d decl, sc *scope, placed map[string]bool) *Err {
+	switch v := d.(type) {
+	case *varDecl:
+		return c.declareItems(v.items, symVar, sc, nil)
+	case *chanDecl:
+		return c.declareItems(v.items, symChan, sc, placed)
+	case *defDecl:
+		if v.strVal != nil {
+			s := *v.strVal
+			if len(s) > 255 {
+				return errf(v.line, v.col, "string table longer than 255 bytes")
+			}
+			data := append([]byte{byte(len(s))}, s...)
+			words := (len(data) + c.wordBytes - 1) / c.wordBytes
+			sym := &symbol{
+				kind: symTable, name: v.name, pos: v.pos,
+				array: true, size: words, tableData: data,
+			}
+			v.sym = sym
+			return sc.declare(sym)
+		}
+		val, err := c.constExpr(v.value, sc)
+		if err != nil {
+			return err
+		}
+		sym := &symbol{kind: symConst, name: v.name, pos: v.pos, value: val}
+		v.sym = sym
+		return sc.declare(sym)
+	case *placeDecl:
+		sym, ok := sc.lookup(v.name)
+		if !ok || sym.kind != symChan {
+			return errf(v.line, v.col, "PLACE needs a channel declared in scope, %q is not one", v.name)
+		}
+		if sym.array {
+			return errf(v.line, v.col, "cannot PLACE a channel array")
+		}
+		addr, err := c.constExpr(v.addr, sc)
+		if err != nil {
+			return err
+		}
+		sym.placed = true
+		sym.placeAddr = addr
+		return nil
+	case *procDecl:
+		return c.declareProc(v, sc)
+	}
+	return errf(0, 0, "checker: unhandled declaration %T", d)
+}
+
+func (c *checker) declareItems(items []declItem, kind symbolKind, sc *scope, placed map[string]bool) *Err {
+	for i := range items {
+		item := &items[i]
+		sym := &symbol{kind: kind, name: item.name, pos: item.pos, frame: sc.frame}
+		switch {
+		case placed[item.name]:
+			// A link-placed channel occupies no workspace; PLACE fills
+			// in the address.
+			if item.size != nil {
+				return errf(item.line, item.col, "cannot PLACE a channel array")
+			}
+		case item.size != nil:
+			n, err := c.constExpr(item.size, sc)
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return errf(item.line, item.col, "array size must be positive, got %d", n)
+			}
+			sym.array = true
+			sym.size = int(n)
+			sym.offset = sc.frame.allocWords(int(n))
+		default:
+			sym.offset = sc.frame.allocWords(1)
+		}
+		item.sym = sym
+		if err := sc.declare(sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareProc(d *procDecl, sc *scope) *Err {
+	f := c.newFrame()
+	info := &procInfo{decl: d, frame: f, label: fmt.Sprintf("proc.%s.%d", d.name, f.id)}
+	sym := &symbol{kind: symProc, name: d.name, pos: d.pos, proc: info}
+	d.sym = sym
+
+	// The body scope sees parameters but not enclosing variables.
+	body := sc.child(f, true)
+	for i := range d.params {
+		pm := &d.params[i]
+		psym := &symbol{
+			kind: symParam, name: pm.name, pos: pm.pos, frame: f,
+			paramKind: pm.kind, paramIndex: i, array: pm.array,
+		}
+		pm.sym = psym
+		info.params = append(info.params, psym)
+		if err := body.declare(psym); err != nil {
+			return err
+		}
+	}
+	if err := c.process(d.body, body); err != nil {
+		return err
+	}
+	for _, psym := range info.params {
+		psym.procParams = info.params
+	}
+	// Parameters beyond the third occupy slots at the very top of the
+	// frame (see the calling convention in gen.go).
+	if extras := len(d.params) - 3; extras > 0 {
+		f.extraParams = extras
+	}
+	c.procs = append(c.procs, info)
+	// The PROC name becomes visible only after its body: occam has no
+	// recursion, and this enforces it.
+	return sc.declare(sym)
+}
+
+func (c *checker) replicator(rep *replicator, sc *scope) (*scope, *Err) {
+	if err := c.expr(rep.base, sc); err != nil {
+		return nil, err
+	}
+	if err := c.expr(rep.count, sc); err != nil {
+		return nil, err
+	}
+	inner := sc.child(nil, false)
+	sym := &symbol{kind: symRep, name: rep.name, pos: rep.pos, frame: sc.frame}
+	// Two adjacent slots: index (the variable) and remaining count.
+	sym.offset = sc.frame.allocWords(2)
+	rep.sym = sym
+	if err := inner.declare(sym); err != nil {
+		return nil, err
+	}
+	return inner, nil
+}
+
+func (c *checker) par(v *parProc, sc *scope) *Err {
+	info := &parInfo{}
+	c.parsInfo[v] = info
+	if v.rep != nil {
+		// Replicated PAR needs a compile-time count: the compiler
+		// performs all workspace allocation (paper, 3.2.4).
+		n, err := c.constExpr(v.rep.count, sc)
+		if err != nil {
+			return errf(v.rep.line, v.rep.col, "replicated PAR needs a compile-time count: %s", err.Msg)
+		}
+		if n <= 0 {
+			return errf(v.rep.line, v.rep.col, "replicated PAR count must be positive, got %d", n)
+		}
+		if err2 := c.expr(v.rep.base, sc); err2 != nil {
+			return err2
+		}
+		c.repCounts[v.rep] = n
+		info.count = int(n)
+		f := c.newFrame()
+		info.frames = []*frame{f}
+		comp := sc.child(f, false)
+		sym := &symbol{kind: symRep, name: v.rep.name, pos: v.rep.pos, frame: f}
+		sym.offset = f.allocWords(1) // the copy's replicator value
+		info.linkSlot = f.allocWords(1)
+		v.rep.sym = sym
+		if err2 := comp.declare(sym); err2 != nil {
+			return err2
+		}
+		return c.process(v.procs[0], comp)
+	}
+	for _, sub := range v.procs {
+		f := c.newFrame()
+		info.frames = append(info.frames, f)
+		if err := c.process(sub, sc.child(f, false)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) alt(v *altProc, sc *scope) *Err {
+	if v.rep != nil {
+		// Replicated ALT: one channel guard indexed by the replicator.
+		inner, err := c.replicator(v.rep, sc)
+		if err != nil {
+			return err
+		}
+		br := &v.branches[0]
+		if br.cond != nil {
+			if err := c.expr(br.cond, inner); err != nil {
+				return err
+			}
+		}
+		in, ok := br.input.(*inputProc)
+		if !ok {
+			return errf(br.line, br.col, "a replicated ALT guard must be a channel input")
+		}
+		if err := c.process(in, inner); err != nil {
+			return err
+		}
+		return c.process(br.body, inner.child(nil, false))
+	}
+	for i := range v.branches {
+		br := &v.branches[i]
+		if br.cond != nil {
+			if err := c.expr(br.cond, sc); err != nil {
+				return err
+			}
+		}
+		switch in := br.input.(type) {
+		case *inputProc:
+			if err := c.process(in, sc); err != nil {
+				return err
+			}
+		case *timeInputProc:
+			if in.after == nil {
+				return errf(br.line, br.col, "a timer guard must use TIME ? AFTER")
+			}
+			if err := c.expr(in.after, sc); err != nil {
+				return err
+			}
+			c.timeGuards[v] = true
+		case *skipProc:
+			if br.cond == nil {
+				return errf(br.line, br.col, "a SKIP guard needs a boolean (use TRUE & SKIP)")
+			}
+		default:
+			return errf(br.line, br.col, "invalid alternative guard")
+		}
+		if err := c.process(br.body, sc.child(nil, false)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindTarget resolves an assignment or input target.
+func (c *checker) bindTarget(name *nameExpr, index expr, sc *scope) *Err {
+	sym, ok := sc.lookup(name.name)
+	if !ok {
+		return errf(name.line, name.col, "undeclared name %q", name.name)
+	}
+	name.sym = sym
+	switch sym.kind {
+	case symVar, symRep:
+	case symParam:
+		if sym.paramKind == paramChan {
+			return errf(name.line, name.col, "%q is a channel parameter, not a variable", name.name)
+		}
+		if sym.paramKind == paramValue && !sym.array && index == nil {
+			return errf(name.line, name.col, "cannot assign to VALUE parameter %q", name.name)
+		}
+	default:
+		return errf(name.line, name.col, "%q is not a variable", name.name)
+	}
+	if index != nil {
+		if !sym.array {
+			return errf(name.line, name.col, "%q is not an array", name.name)
+		}
+		return c.expr(index, sc)
+	}
+	return nil
+}
+
+// bindChannel resolves a channel reference.
+func (c *checker) bindChannel(name *nameExpr, index expr, sc *scope) *Err {
+	sym, ok := sc.lookup(name.name)
+	if !ok {
+		return errf(name.line, name.col, "undeclared channel %q", name.name)
+	}
+	name.sym = sym
+	switch {
+	case sym.kind == symChan:
+	case sym.kind == symParam && sym.paramKind == paramChan:
+	default:
+		return errf(name.line, name.col, "%q is not a channel", name.name)
+	}
+	if index != nil {
+		if !sym.array {
+			return errf(name.line, name.col, "%q is not a channel array", name.name)
+		}
+		return c.expr(index, sc)
+	}
+	return nil
+}
+
+// argument checks an actual against its formal.
+func (c *checker) argument(a expr, formal *symbol, sc *scope) *Err {
+	switch formal.paramKind {
+	case paramValue:
+		if formal.array {
+			return c.arrayArg(a, sc, "an array")
+		}
+		return c.expr(a, sc)
+	case paramVar:
+		if formal.array {
+			return c.arrayArg(a, sc, "an array")
+		}
+		// Need an addressable variable.
+		switch v := a.(type) {
+		case *nameExpr:
+			return c.bindTarget(v, nil, sc)
+		case *indexExpr:
+			return c.bindTarget(v.base, v.index, sc)
+		}
+		return errf(posOfExpr(a).line, posOfExpr(a).col, "VAR argument must be a variable")
+	case paramChan:
+		switch v := a.(type) {
+		case *nameExpr:
+			if formal.array {
+				if err := c.bindChannel(v, nil, sc); err != nil {
+					return err
+				}
+				if !v.sym.array {
+					return errf(v.line, v.col, "%q is not a channel array", v.name)
+				}
+				return nil
+			}
+			return c.bindChannel(v, nil, sc)
+		case *indexExpr:
+			return c.bindChannel(v.base, v.index, sc)
+		}
+		return errf(posOfExpr(a).line, posOfExpr(a).col, "CHAN argument must be a channel")
+	}
+	return nil
+}
+
+func (c *checker) arrayArg(a expr, sc *scope, what string) *Err {
+	v, ok := a.(*nameExpr)
+	if !ok {
+		return errf(posOfExpr(a).line, posOfExpr(a).col, "argument must be %s name", what)
+	}
+	sym, found := sc.lookup(v.name)
+	if !found {
+		return errf(v.line, v.col, "undeclared name %q", v.name)
+	}
+	v.sym = sym
+	if !sym.array {
+		return errf(v.line, v.col, "%q is not an array", v.name)
+	}
+	return nil
+}
+
+// expr resolves names within an expression.
+func (c *checker) expr(e expr, sc *scope) *Err {
+	switch v := e.(type) {
+	case *numberExpr:
+		return nil
+	case *nameExpr:
+		sym, ok := sc.lookup(v.name)
+		if !ok {
+			return errf(v.line, v.col, "undeclared name %q", v.name)
+		}
+		v.sym = sym
+		switch sym.kind {
+		case symVar, symRep, symConst, symTable:
+		case symParam:
+			if sym.paramKind == paramChan {
+				return errf(v.line, v.col, "channel %q cannot appear in an expression", v.name)
+			}
+		case symChan:
+			return errf(v.line, v.col, "channel %q cannot appear in an expression", v.name)
+		default:
+			return errf(v.line, v.col, "%q cannot appear in an expression", v.name)
+		}
+		return nil
+	case *indexExpr:
+		if err := c.expr(v.base, sc); err != nil {
+			return err
+		}
+		if !v.base.sym.array {
+			return errf(v.line, v.col, "%q is not an array", v.base.name)
+		}
+		return c.expr(v.index, sc)
+	case *unaryExpr:
+		return c.expr(v.arg, sc)
+	case *binaryExpr:
+		if err := c.expr(v.left, sc); err != nil {
+			return err
+		}
+		return c.expr(v.right, sc)
+	}
+	return errf(0, 0, "checker: unhandled expression %T", e)
+}
+
+// constExpr resolves and folds a compile-time constant.
+func (c *checker) constExpr(e expr, sc *scope) (int64, *Err) {
+	if err := c.expr(e, sc); err != nil {
+		return 0, err
+	}
+	v, ok := foldConst(e)
+	if !ok {
+		p := posOfExpr(e)
+		return 0, errf(p.line, p.col, "expression is not a compile-time constant")
+	}
+	return v, nil
+}
+
+// foldConst evaluates constant expressions (DEF values, literals, and
+// operators over them).
+func foldConst(e expr) (int64, bool) {
+	switch v := e.(type) {
+	case *numberExpr:
+		return v.val, true
+	case *nameExpr:
+		if v.sym != nil && v.sym.kind == symConst {
+			return v.sym.value, true
+		}
+	case *unaryExpr:
+		a, ok := foldConst(v.arg)
+		if !ok {
+			return 0, false
+		}
+		switch v.op {
+		case "-":
+			return -a, true
+		case "NOT":
+			return boolInt(a == 0), true
+		}
+	case *binaryExpr:
+		l, ok1 := foldConst(v.left)
+		r, ok2 := foldConst(v.right)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch v.op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case "\\":
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case "/\\":
+			return l & r, true
+		case "\\/":
+			return l | r, true
+		case "><":
+			return l ^ r, true
+		case "<<":
+			return l << uint(r&63), true
+		case ">>":
+			return int64(uint64(l) >> uint(r&63)), true
+		case "=":
+			return boolInt(l == r), true
+		case "<>":
+			return boolInt(l != r), true
+		case "<":
+			return boolInt(l < r), true
+		case ">":
+			return boolInt(l > r), true
+		case "<=":
+			return boolInt(l <= r), true
+		case ">=":
+			return boolInt(l >= r), true
+		case "AND":
+			return boolInt(l != 0 && r != 0), true
+		case "OR":
+			return boolInt(l != 0 || r != 0), true
+		}
+	}
+	return 0, false
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func posOfExpr(e expr) pos {
+	switch v := e.(type) {
+	case *numberExpr:
+		return v.pos
+	case *nameExpr:
+		return v.pos
+	case *indexExpr:
+		return v.pos
+	case *unaryExpr:
+		return v.pos
+	case *binaryExpr:
+		return v.pos
+	}
+	return pos{}
+}

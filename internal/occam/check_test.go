@@ -1,0 +1,139 @@
+package occam
+
+import (
+	"strings"
+	"testing"
+)
+
+// Checker diagnostics: each bad program must fail with a message that
+// names the problem.
+
+func rejectWith(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := Compile(src, Options{})
+	if err == nil {
+		t.Fatalf("should be rejected:\n%s", src)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err.Error(), fragment)
+	}
+}
+
+func TestCheckUndeclared(t *testing.T) {
+	rejectWith(t, "x := 1\n", "undeclared")
+	rejectWith(t, "VAR x:\nx := y\n", "undeclared")
+	rejectWith(t, "c ! 1\n", "undeclared channel")
+}
+
+func TestCheckKindMismatches(t *testing.T) {
+	rejectWith(t, "VAR x:\nx ! 1\n", "not a channel")
+	rejectWith(t, "VAR x:\nx ? x\n", "not a channel")
+	rejectWith(t, "CHAN c:\nc := 1\n", "not a variable")
+	rejectWith(t, "CHAN c:\nVAR x:\nx := c\n", "cannot appear in an expression")
+	rejectWith(t, "DEF n = 3:\nn := 4\n", "not a variable")
+}
+
+func TestCheckArrayMisuse(t *testing.T) {
+	rejectWith(t, "VAR x:\nSEQ\n  x[0] := 1\n", "not an array")
+	rejectWith(t, "VAR a[0]:\nSKIP\n", "positive")
+	rejectWith(t, "VAR n, a[n]:\nSKIP\n", "constant")
+	rejectWith(t, "CHAN c:\nVAR v:\nc[0] ? v\n", "not a channel array")
+}
+
+func TestCheckProcErrors(t *testing.T) {
+	rejectWith(t, "PROC p(VALUE a) =\n  SKIP\n:\np(1, 2)\n", "takes 1 arguments")
+	rejectWith(t, "PROC p(VAR a) =\n  a := 1\n:\np(3)\n", "must be a variable")
+	rejectWith(t, "PROC p(CHAN c) =\n  c ! 1\n:\nVAR x:\np(x)\n", "not a channel")
+	rejectWith(t, "q(1)\n", "not a PROC")
+	// No recursion: the PROC's own name is not in scope in its body.
+	rejectWith(t, "PROC p() =\n  p()\n:\np()\n", "not a PROC")
+	// A VALUE scalar parameter cannot be assigned.
+	rejectWith(t, "PROC p(VALUE a) =\n  a := 1\n:\np(1)\n", "cannot assign")
+}
+
+func TestCheckProcOuterCapture(t *testing.T) {
+	rejectWith(t, "VAR x:\nPROC p() =\n  x := 1\n:\np()\n", "undeclared")
+	rejectWith(t, "CHAN c:\nPROC p() =\n  c ! 1\n:\np()\n", "undeclared")
+	// Constants remain visible inside PROCs.
+	mustCompile(t, "DEF k = 9:\nPROC p(CHAN out) =\n  out ! k\n:\nCHAN c:\nVAR v:\nPAR\n  p(c)\n  c ? v\n")
+}
+
+func TestCheckPlaceErrors(t *testing.T) {
+	rejectWith(t, "VAR x:\nPLACE x AT 5:\nSKIP\n", "needs a channel")
+	rejectWith(t, "CHAN c[2]:\nPLACE c AT 5:\nSKIP\n", "channel array")
+	rejectWith(t, "VAR n:\nCHAN c:\nPLACE c AT n:\nc ! 1\n", "constant")
+}
+
+func TestCheckReplicatedParConstraints(t *testing.T) {
+	rejectWith(t, "VAR n:\nSEQ\n  n := 2\n  PAR i = [0 FOR n]\n    SKIP\n", "compile-time count")
+	rejectWith(t, "PAR i = [0 FOR 0]\n  SKIP\n", "positive")
+}
+
+func TestCheckAltConstraints(t *testing.T) {
+	rejectWith(t, "CHAN c:\nVAR v:\nALT\n  c ? v\n    SKIP\n  TIME ? v\n    SKIP\n", "AFTER")
+	rejectWith(t, "ALT\n  SKIP\n    SKIP\n", "boolean")
+	rejectWith(t, "VAR v:\nALT i = [0 FOR 3]\n  TIME ? AFTER 0\n    SKIP\n", "channel input")
+}
+
+func TestCheckDuplicateNames(t *testing.T) {
+	rejectWith(t, "VAR x, x:\nSKIP\n", "already declared")
+	rejectWith(t, "PROC p(VALUE a, VALUE a) =\n  SKIP\n:\np(1, 2)\n", "already declared")
+}
+
+func TestCheckShadowingAllowedAcrossScopes(t *testing.T) {
+	mustCompile(t, `VAR x:
+SEQ
+  x := 1
+  VAR x:
+  x := 2
+`)
+}
+
+func TestCheckBuiltinConstants(t *testing.T) {
+	// The link addresses and integer bounds resolve as constants.
+	mustCompile(t, `CHAN a, b:
+PLACE a AT LINK0OUT:
+PLACE b AT LINK3IN:
+VAR x:
+SEQ
+  x := MOSTNEG
+  x := MOSTPOS
+  x := EVENT
+`)
+	// The 16-bit builtins differ from the 32-bit ones.
+	c16, err := Compile("VAR x:\nx := MOSTPOS\n", Options{WordBytes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c32, err := Compile("VAR x:\nx := MOSTPOS\n", Options{WordBytes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c16.Image.Code) == string(c32.Image.Code) {
+		t.Error("MOSTPOS should differ between word lengths")
+	}
+}
+
+func TestCheckStringTableErrors(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	rejectWith(t, "DEF s = \""+long+"\":\nSKIP\n", "longer than 255")
+}
+
+func TestCheckConstFolding(t *testing.T) {
+	// DEF chains and operators fold.
+	comp, err := Compile(`DEF a = 5:
+DEF b = a * 3:
+DEF c = (b + 1) / 2:
+VAR x:
+x := c
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c = 8: code starts ldc 8; stl.
+	if comp.Image.Code[0] != 0x48 {
+		t.Errorf("folded constant wrong: % X", comp.Image.Code[:2])
+	}
+	// Division by a zero constant is not foldable.
+	rejectWith(t, "DEF z = 0:\nDEF bad = 1 / z:\nSKIP\n", "constant")
+}

@@ -1,0 +1,194 @@
+package occam
+
+import (
+	"fmt"
+
+	"transputer/internal/asm"
+	"transputer/internal/core"
+	"transputer/internal/isa"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// WordBytes is the target word length in bytes: 4 (T424) or 2
+	// (T222).  Defaults to 4.
+	WordBytes int
+	// ExtraWsBelow adds headroom words below the initial workspace
+	// pointer, for programs loaded alongside hand-patched data.
+	ExtraWsBelow int
+	// NoUsageCheck disables the PAR disjointness rules (paper 2.2.1);
+	// programs relying on priority-ordered access to shared state can
+	// opt out, forfeiting occam's correctness guarantees.
+	NoUsageCheck bool
+}
+
+// Compiled is the result of compiling an occam program.
+type Compiled struct {
+	Image  core.Image
+	Labels map[string]int
+	// Above and Below are the main frame's workspace requirements, in
+	// words.
+	Above, Below int
+}
+
+// Compile translates an occam program into a loadable image.  The
+// program's process begins execution as a single low-priority process;
+// when it terminates, the instruction stream ends with stop process,
+// leaving the machine idle.
+func Compile(src string, opt Options) (*Compiled, error) {
+	if err := checkOptions(&opt); err != nil {
+		return nil, err
+	}
+	prog, perr := parse(src)
+	if perr != nil {
+		return nil, perr
+	}
+	return compileProgram(prog, opt)
+}
+
+func checkOptions(opt *Options) error {
+	if opt.WordBytes == 0 {
+		opt.WordBytes = 4
+	}
+	if opt.WordBytes != 2 && opt.WordBytes != 4 {
+		return fmt.Errorf("occam: unsupported word length %d bytes", opt.WordBytes)
+	}
+	return nil
+}
+
+// Processor is one transputer's share of a configured program.
+type Processor struct {
+	ID       int64
+	Compiled *Compiled
+}
+
+// CompileConfigured compiles a program whose outermost process is
+// PLACED PAR — the occam configuration construct the paper's model
+// rests on: "externally, a collection of processes may be configured
+// for a network of transputers.  Each transputer executes a component
+// process, and occam channels are allocated to links."  Declarations
+// preceding the PLACED PAR (DEFs and PROCs) are shared by every
+// component; each PROCESSOR block is compiled to its own image, with
+// its channels PLACEd on link addresses.  A program without PLACED PAR
+// compiles to a single processor numbered 0.
+func CompileConfigured(src string, opt Options) ([]Processor, error) {
+	if err := checkOptions(&opt); err != nil {
+		return nil, err
+	}
+	prog, perr := parse(src)
+	if perr != nil {
+		return nil, perr
+	}
+	// Peel shared declarations off the front.
+	var shared []decl
+	body := prog
+	for {
+		dp, ok := body.(*declProc)
+		if !ok {
+			break
+		}
+		shared = append(shared, dp.decls...)
+		body = dp.body
+	}
+	pp, ok := body.(*placedPar)
+	if !ok {
+		comp, err := compileProgram(prog, opt)
+		if err != nil {
+			return nil, err
+		}
+		return []Processor{{ID: 0, Compiled: comp}}, nil
+	}
+
+	var out []Processor
+	seen := map[int64]bool{}
+	for i := range pp.components {
+		comp := &pp.components[i]
+		// The processor number is folded by smuggling it through a DEF
+		// in the component's compilation.
+		idDecl := &defDecl{pos: comp.pos, name: "configured.processor.number", value: comp.processor}
+		decls := append(append([]decl{}, shared...), idDecl)
+		synth := &declProc{pos: comp.pos, decls: decls, body: comp.body}
+		compiled, err := compileProgram(synth, opt)
+		if err != nil {
+			return nil, err
+		}
+		if idDecl.sym == nil {
+			return nil, errf(comp.line, comp.col, "PROCESSOR number is not a compile-time constant")
+		}
+		id := idDecl.sym.value
+		if seen[id] {
+			return nil, errf(comp.line, comp.col, "PROCESSOR %d configured twice", id)
+		}
+		seen[id] = true
+		out = append(out, Processor{ID: id, Compiled: compiled})
+	}
+	return out, nil
+}
+
+func compileProgram(prog process, opt Options) (*Compiled, error) {
+	c := newChecker(opt.WordBytes)
+	root, cerr := c.run(prog)
+	if cerr != nil {
+		return nil, cerr
+	}
+	if !opt.NoUsageCheck {
+		if uerr := c.checkUsage(prog); uerr != nil {
+			return nil, uerr
+		}
+	}
+	c.sizeProgram(prog, root)
+
+	g := &gen{
+		c:         c,
+		b:         asm.NewBuilder(opt.WordBytes),
+		wordBytes: opt.WordBytes,
+		cur:       root,
+		paths:     map[*frame]accessPath{root: {}},
+	}
+	var genErr *Err
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(*Err); ok {
+					genErr = e
+					return
+				}
+				panic(r)
+			}
+		}()
+		g.process(prog)
+		// Program termination: the initial process stops, leaving the
+		// machine idle.
+		g.b.Op(isa.OpStopp)
+		for len(g.queue) > 0 {
+			info := g.queue[0]
+			g.queue = g.queue[1:]
+			g.emitProc(info)
+		}
+		// String tables, word aligned after the code.
+		for _, sym := range g.tableOrder {
+			g.b.Align()
+			g.b.MustLabel(g.tableLabels[sym])
+			g.b.Bytes(sym.tableData)
+		}
+	}()
+	if genErr != nil {
+		return nil, genErr
+	}
+
+	res, err := g.b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Image: core.Image{
+			Code:    res.Code,
+			Entry:   0,
+			WsBelow: root.below + opt.ExtraWsBelow,
+			WsAbove: root.above,
+		},
+		Labels: res.Labels,
+		Above:  root.above,
+		Below:  root.below,
+	}, nil
+}

@@ -1,0 +1,132 @@
+package occam
+
+import "testing"
+
+func lexOK(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.kind
+	}
+	return out
+}
+
+func TestLexIndentation(t *testing.T) {
+	toks := lexOK(t, "SEQ\n  SKIP\n  SKIP\n")
+	want := []tokenKind{tokKeyword, tokNewline, tokIndent, tokKeyword, tokNewline,
+		tokKeyword, tokNewline, tokDedent, tokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want kind %d", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLexNestedDedent(t *testing.T) {
+	toks := lexOK(t, "SEQ\n  SEQ\n    SKIP\nSKIP\n")
+	dedents := 0
+	for _, tk := range toks {
+		if tk.kind == tokDedent {
+			dedents++
+		}
+	}
+	if dedents != 2 {
+		t.Errorf("dedents = %d, want 2", dedents)
+	}
+}
+
+func TestLexBadIndent(t *testing.T) {
+	if _, err := lex("SEQ\n   SKIP\n"); err == nil {
+		t.Error("three-space indent should fail")
+	}
+	if _, err := lex("SEQ\n\tSKIP\n"); err == nil {
+		t.Error("tab indent should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexOK(t, "SKIP -- a comment\n-- whole line\n")
+	if len(toks) != 3 { // SKIP, newline, EOF
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexOK(t, "x := #7FF + 42\n")
+	var vals []int64
+	for _, tk := range toks {
+		if tk.kind == tokNumber {
+			vals = append(vals, tk.val)
+		}
+	}
+	if len(vals) != 2 || vals[0] != 0x7FF || vals[1] != 42 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	toks := lexOK(t, "c ! 'A'; '*n'\n")
+	var vals []int64
+	for _, tk := range toks {
+		if tk.kind == tokChar {
+			vals = append(vals, tk.val)
+		}
+	}
+	if len(vals) != 2 || vals[0] != 'A' || vals[1] != '\n' {
+		t.Errorf("chars = %v", vals)
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks := lexOK(t, "a := (b /\\ c) >< d\n")
+	var syms []string
+	for _, tk := range toks {
+		if tk.kind == tokSymbol {
+			syms = append(syms, tk.text)
+		}
+	}
+	want := []string{":=", "(", "/\\", ")", "><"}
+	if len(syms) != len(want) {
+		t.Fatalf("symbols = %v", syms)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("symbol %d = %q, want %q", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := lexOK(t, "SEQ foo WHILE bar\n")
+	if toks[0].kind != tokKeyword || toks[1].kind != tokIdent ||
+		toks[2].kind != tokKeyword || toks[3].kind != tokIdent {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexDottedNames(t *testing.T) {
+	toks := lexOK(t, "in.data ? x\n")
+	if toks[0].kind != tokIdent || toks[0].text != "in.data" {
+		t.Errorf("token = %v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"x := 'ab'\n", "x := #\n", "x := @\n", "s := \"abc\n"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package occam_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/occam"
+	"transputer/internal/sim"
+)
+
+// Differential testing: random expression programs are compiled and
+// run on the simulated transputer, and their results compared with a
+// host-side reference evaluator implementing occam's semantics
+// (32-bit words, truncating division, truth values 1/0).
+
+// rexpr is a randomly generated expression with its reference value.
+type rexpr struct {
+	src string
+	val int64
+}
+
+const wordMask = 0xFFFFFFFF
+
+func toWord(v int64) int64 {
+	u := uint64(v) & wordMask
+	if u&0x80000000 != 0 {
+		return int64(u | ^uint64(wordMask))
+	}
+	return int64(u)
+}
+
+// genExpr builds a random expression over variables a=env[0], b=env[1],
+// c=env[2].  Every binary node is parenthesised, which occam always
+// allows.  Overflow-prone shapes are avoided so checked arithmetic
+// never traps: operands stay small and shift counts are literal.
+func genExpr(rng *rand.Rand, env [3]int64, depth int) rexpr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			n := int64(rng.Intn(10))
+			return rexpr{fmt.Sprintf("%d", n), n}
+		case 1:
+			return rexpr{"a", env[0]}
+		case 2:
+			return rexpr{"b", env[1]}
+		case 3:
+			return rexpr{"c", env[2]}
+		default:
+			n := int64(rng.Intn(100))
+			return rexpr{fmt.Sprintf("%d", n), n}
+		}
+	}
+	l := genExpr(rng, env, depth-1)
+	r := genExpr(rng, env, depth-1)
+	switch rng.Intn(12) {
+	case 0:
+		return rexpr{"(" + l.src + " + " + r.src + ")", toWord(l.val + r.val)}
+	case 1:
+		return rexpr{"(" + l.src + " - " + r.src + ")", toWord(l.val - r.val)}
+	case 2:
+		// Keep products small.
+		small := rexpr{fmt.Sprintf("%d", rng.Intn(5)), 0}
+		small.val = mustParse(small.src)
+		return rexpr{"(" + l.src + " * " + small.src + ")", toWord(l.val * small.val)}
+	case 3:
+		d := int64(rng.Intn(9) + 1)
+		return rexpr{fmt.Sprintf("(%s / %d)", l.src, d), toWord(l.val / d)}
+	case 4:
+		d := int64(rng.Intn(9) + 1)
+		return rexpr{fmt.Sprintf("(%s \\ %d)", l.src, d), toWord(l.val % d)}
+	case 5:
+		return rexpr{"(" + l.src + " /\\ " + r.src + ")", toWord(int64(uint64(l.val) & uint64(r.val)))}
+	case 6:
+		return rexpr{"(" + l.src + " \\/ " + r.src + ")", toWord(int64(uint64(l.val) | uint64(r.val)))}
+	case 7:
+		return rexpr{"(" + l.src + " >< " + r.src + ")", toWord(int64(uint64(l.val) ^ uint64(r.val)))}
+	case 8:
+		n := rng.Intn(6)
+		return rexpr{fmt.Sprintf("(%s << %d)", l.src, n), toWord(int64(uint64(l.val)&wordMask) << uint(n))}
+	case 9:
+		n := rng.Intn(6)
+		return rexpr{fmt.Sprintf("(%s >> %d)", l.src, n), toWord(int64((uint64(l.val) & wordMask) >> uint(n)))}
+	case 10:
+		return rexpr{"(" + l.src + " > " + r.src + ")", boolWord64(l.val > r.val)}
+	default:
+		return rexpr{"(" + l.src + " = " + r.src + ")", boolWord64(l.val == r.val)}
+	}
+}
+
+func boolWord64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mustParse(s string) int64 {
+	var v int64
+	fmt.Sscanf(s, "%d", &v)
+	return v
+}
+
+// TestRandomExpressions compiles batches of random expressions and
+// compares machine results against the reference evaluator.
+func TestRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1985))
+	const rounds = 12
+	const perRound = 10
+	for round := 0; round < rounds; round++ {
+		env := [3]int64{int64(rng.Intn(200) - 100), int64(rng.Intn(200) - 100), int64(rng.Intn(50))}
+		var exprs []rexpr
+		var sb strings.Builder
+		sb.WriteString("CHAN screen:\nPLACE screen AT LINK0OUT:\nVAR a, b, c:\nSEQ\n")
+		fmt.Fprintf(&sb, "  a := %d\n  b := %d\n  c := %d\n", env[0], env[1], env[2])
+		for i := 0; i < perRound; i++ {
+			e := genExpr(rng, env, 3)
+			exprs = append(exprs, e)
+			fmt.Fprintf(&sb, "  screen ! 2; %s\n", e.src)
+		}
+		got := runRandom(t, sb.String())
+		if len(got) != len(exprs) {
+			t.Fatalf("round %d: got %d values, want %d\nprogram:\n%s", round, len(got), len(exprs), sb.String())
+		}
+		for i, e := range exprs {
+			if got[i] != e.val {
+				t.Errorf("round %d: %s = %d on the transputer, %d on the host (a=%d b=%d c=%d)",
+					round, e.src, got[i], e.val, env[0], env[1], env[2])
+			}
+		}
+	}
+}
+
+func runRandom(t *testing.T, src string) []int64 {
+	t.Helper()
+	comp, err := occam.Compile(src, occam.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	s := network.NewSystem()
+	n := s.MustAddTransputer("m", core.T424().WithMemory(128*1024))
+	host, _ := s.AttachHost(n, 0, nil)
+	if err := n.Load(comp.Image); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(2 * sim.Second)
+	if !rep.Settled {
+		t.Fatalf("random program did not settle\n%s", src)
+	}
+	if err := n.M.Fault(); err != nil {
+		t.Fatalf("fault: %v\n%s", err, src)
+	}
+	return host.Values
+}
+
+// TestRandomSeqParEquivalence: a set of independent assignments
+// produces the same results run sequentially or in parallel (the
+// disjointness occam requires makes SEQ and PAR equivalent here).
+func TestRandomSeqParEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(424))
+	for round := 0; round < 6; round++ {
+		n := 4 + rng.Intn(4)
+		var exprs []string
+		for i := 0; i < n; i++ {
+			e := genExpr(rng, [3]int64{3, 5, 7}, 2)
+			exprs = append(exprs, e.src)
+		}
+		build := func(par bool) string {
+			var sb strings.Builder
+			sb.WriteString("CHAN screen:\nPLACE screen AT LINK0OUT:\nVAR a, b, c")
+			for i := range exprs {
+				fmt.Fprintf(&sb, ", r%d", i)
+			}
+			sb.WriteString(":\nSEQ\n  a := 3\n  b := 5\n  c := 7\n")
+			if par {
+				sb.WriteString("  PAR\n")
+				for i, e := range exprs {
+					fmt.Fprintf(&sb, "    r%d := %s\n", i, e)
+				}
+			} else {
+				sb.WriteString("  SEQ\n")
+				for i, e := range exprs {
+					fmt.Fprintf(&sb, "    r%d := %s\n", i, e)
+				}
+			}
+			for i := range exprs {
+				fmt.Fprintf(&sb, "  screen ! 2; r%d\n", i)
+			}
+			return sb.String()
+		}
+		seq := runRandom(t, build(false))
+		par := runRandom(t, build(true))
+		if len(seq) != len(par) {
+			t.Fatalf("round %d: %v vs %v", round, seq, par)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Errorf("round %d result %d: SEQ %d, PAR %d (expr %s)", round, i, seq[i], par[i], exprs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package occam
+
+// Usage checking — the static discipline behind the paper's design
+// correctness story (section 2.2.1): occam's parallel components must
+// be disjoint.  A variable assigned in one component of a PAR may not
+// be read or assigned in another, and each channel may be used for
+// input by only one component and for output by only one component.
+//
+// PROC bodies are summarised per parameter, so channels passed to
+// procedures carry their direction to the call site.  Replicated PAR
+// components share one body and commonly index arrays by the
+// replicator; element-level disjointness is beyond this checker, so
+// replicated PAR is not usage-checked (the INMOS compilers applied
+// more elaborate subscript rules there).
+
+// entity is the unit of disjointness: a scalar, a whole array (for
+// subscripts the checker cannot fold), or one constant-indexed array
+// element.
+type entity struct {
+	sym     *symbol
+	indexed bool
+	idx     int64
+}
+
+// overlaps reports whether two entities can denote the same storage or
+// channel.
+func (a entity) overlaps(b entity) bool {
+	if a.sym != b.sym {
+		return false
+	}
+	if a.indexed && b.indexed {
+		return a.idx == b.idx
+	}
+	return true // a whole-array use overlaps every element
+}
+
+// effects records what a process does to each entity.
+type effects struct {
+	read    map[entity]bool
+	written map[entity]bool
+	input   map[entity]bool
+	output  map[entity]bool
+}
+
+func newEffects() *effects {
+	return &effects{
+		read:    make(map[entity]bool),
+		written: make(map[entity]bool),
+		input:   make(map[entity]bool),
+		output:  make(map[entity]bool),
+	}
+}
+
+func (e *effects) merge(o *effects) {
+	for s := range o.read {
+		e.read[s] = true
+	}
+	for s := range o.written {
+		e.written[s] = true
+	}
+	for s := range o.input {
+		e.input[s] = true
+	}
+	for s := range o.output {
+		e.output[s] = true
+	}
+}
+
+// entityOf resolves a symbol with an optional subscript expression to
+// an entity: constant subscripts select single elements.
+func entityOf(sym *symbol, idx expr) entity {
+	if idx == nil {
+		return entity{sym: sym}
+	}
+	if v, ok := foldConst(idx); ok {
+		return entity{sym: sym, indexed: true, idx: v}
+	}
+	return entity{sym: sym}
+}
+
+// paramEffects summarises a PROC's use of one parameter.
+type paramEffects struct {
+	read, written, input, output bool
+}
+
+// checkUsage walks the program, validating every PAR and computing
+// PROC summaries along the way.
+func (c *checker) checkUsage(prog process) *Err {
+	c.procEffects = make(map[*procInfo][]paramEffects)
+	_, err := c.usage(prog)
+	return err
+}
+
+// usage returns the effects of a process, checking nested PARs.
+func (c *checker) usage(p process) (*effects, *Err) {
+	e := newEffects()
+	switch v := p.(type) {
+	case *skipProc, *stopProc:
+	case *placedPar:
+		// Components run on different transputers; nothing shared.
+		for i := range v.components {
+			if _, err := c.usage(v.components[i].body); err != nil {
+				return nil, err
+			}
+		}
+	case *declProc:
+		for _, d := range v.decls {
+			if pd, ok := d.(*procDecl); ok {
+				if err := c.summariseProc(pd); err != nil {
+					return nil, err
+				}
+			}
+		}
+		sub, err := c.usage(v.body)
+		if err != nil {
+			return nil, err
+		}
+		e.merge(sub)
+	case *assignProc:
+		c.exprReads(e, v.value)
+		if v.index != nil {
+			c.exprReads(e, v.index)
+		}
+		e.written[entityOf(v.target.sym, v.index)] = true
+	case *outputProc:
+		e.output[entityOf(v.ch.sym, v.chIdx)] = true
+		if v.chIdx != nil {
+			c.exprReads(e, v.chIdx)
+		}
+		for _, val := range v.values {
+			c.exprReads(e, val)
+		}
+	case *inputProc:
+		e.input[entityOf(v.ch.sym, v.chIdx)] = true
+		if v.chIdx != nil {
+			c.exprReads(e, v.chIdx)
+		}
+		for _, tgt := range v.targets {
+			if tgt.name != nil {
+				e.written[entityOf(tgt.name.sym, tgt.index)] = true
+				if tgt.index != nil {
+					c.exprReads(e, tgt.index)
+				}
+			}
+		}
+	case *timeInputProc:
+		if v.after != nil {
+			c.exprReads(e, v.after)
+		} else {
+			e.written[entityOf(v.target.sym, v.index)] = true
+			if v.index != nil {
+				c.exprReads(e, v.index)
+			}
+		}
+	case *seqProc:
+		if v.rep != nil {
+			c.exprReads(e, v.rep.base)
+			c.exprReads(e, v.rep.count)
+		}
+		for _, sub := range v.procs {
+			se, err := c.usage(sub)
+			if err != nil {
+				return nil, err
+			}
+			e.merge(se)
+		}
+	case *whileProc:
+		c.exprReads(e, v.cond)
+		se, err := c.usage(v.body)
+		if err != nil {
+			return nil, err
+		}
+		e.merge(se)
+	case *ifProc:
+		for _, br := range v.branches {
+			c.exprReads(e, br.cond)
+			se, err := c.usage(br.body)
+			if err != nil {
+				return nil, err
+			}
+			e.merge(se)
+		}
+	case *altProc:
+		for i := range v.branches {
+			br := &v.branches[i]
+			if br.cond != nil {
+				c.exprReads(e, br.cond)
+			}
+			ge, err := c.usage(br.input)
+			if err != nil {
+				return nil, err
+			}
+			e.merge(ge)
+			be, err := c.usage(br.body)
+			if err != nil {
+				return nil, err
+			}
+			e.merge(be)
+		}
+		if v.rep != nil {
+			c.exprReads(e, v.rep.base)
+			c.exprReads(e, v.rep.count)
+		}
+	case *parProc:
+		if v.rep != nil {
+			// Replicated PAR: collect effects but do not pairwise
+			// check (see the package comment).
+			c.exprReads(e, v.rep.base)
+			se, err := c.usage(v.procs[0])
+			if err != nil {
+				return nil, err
+			}
+			e.merge(se)
+			return e, nil
+		}
+		comps := make([]*effects, len(v.procs))
+		for i, sub := range v.procs {
+			se, err := c.usage(sub)
+			if err != nil {
+				return nil, err
+			}
+			comps[i] = se
+			e.merge(se)
+		}
+		if err := checkDisjoint(v.pos, comps); err != nil {
+			return nil, err
+		}
+	case *callProc:
+		summary := c.procEffects[v.sym.proc]
+		for i, arg := range v.args {
+			pe := paramEffects{read: true}
+			if i < len(summary) {
+				pe = summary[i]
+			}
+			c.argEffects(e, arg, v.sym.proc.params[i], pe)
+		}
+	}
+	return e, nil
+}
+
+// exprReads marks every variable an expression reads.
+func (c *checker) exprReads(e *effects, ex expr) {
+	switch v := ex.(type) {
+	case *nameExpr:
+		if v.sym != nil {
+			switch v.sym.kind {
+			case symVar, symRep, symParam:
+				e.read[entity{sym: v.sym}] = true
+			}
+		}
+	case *indexExpr:
+		if v.base.sym != nil {
+			switch v.base.sym.kind {
+			case symVar, symRep, symParam:
+				e.read[entityOf(v.base.sym, v.index)] = true
+			}
+		}
+		c.exprReads(e, v.index)
+	case *unaryExpr:
+		c.exprReads(e, v.arg)
+	case *binaryExpr:
+		c.exprReads(e, v.left)
+		c.exprReads(e, v.right)
+	}
+}
+
+// argEffects maps a PROC's per-parameter summary onto the actual
+// argument's symbol.
+func (c *checker) argEffects(e *effects, arg expr, formal *symbol, pe paramEffects) {
+	var ent entity
+	switch v := arg.(type) {
+	case *nameExpr:
+		if v.sym == nil {
+			return
+		}
+		ent = entity{sym: v.sym}
+	case *indexExpr:
+		if v.base.sym == nil {
+			return
+		}
+		ent = entityOf(v.base.sym, v.index)
+		c.exprReads(e, v.index)
+	default:
+		c.exprReads(e, arg)
+		return
+	}
+	switch formal.paramKind {
+	case paramValue:
+		c.exprReads(e, arg)
+	case paramVar:
+		if pe.read {
+			e.read[ent] = true
+		}
+		if pe.written {
+			e.written[ent] = true
+		}
+	case paramChan:
+		if pe.input {
+			e.input[ent] = true
+		}
+		if pe.output {
+			e.output[ent] = true
+		}
+	}
+}
+
+// summariseProc computes (once) the per-parameter effects of a PROC.
+func (c *checker) summariseProc(pd *procDecl) *Err {
+	info := pd.sym.proc
+	if _, done := c.procEffects[info]; done {
+		return nil
+	}
+	body, err := c.usage(pd.body)
+	if err != nil {
+		return err
+	}
+	summary := make([]paramEffects, len(info.params))
+	for i, psym := range info.params {
+		summary[i] = paramEffects{
+			read:    body.touches(psym, body.read),
+			written: body.touches(psym, body.written),
+			input:   body.touches(psym, body.input),
+			output:  body.touches(psym, body.output),
+		}
+	}
+	c.procEffects[info] = summary
+	return nil
+}
+
+// touches reports whether any entity of the given symbol appears in
+// the set.
+func (e *effects) touches(sym *symbol, set map[entity]bool) bool {
+	for ent := range set {
+		if ent.sym == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// anyOverlap finds an entity in a that overlaps one in b.
+func anyOverlap(a, b map[entity]bool) (entity, bool) {
+	for ea := range a {
+		for eb := range b {
+			if ea.overlaps(eb) {
+				return ea, true
+			}
+		}
+	}
+	return entity{}, false
+}
+
+// checkDisjoint enforces the PAR rules across component effects.
+func checkDisjoint(at pos, comps []*effects) *Err {
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			a, b := comps[i], comps[j]
+			if ent, bad := anyOverlap(a.written, b.written); bad {
+				return usageErr(at, ent, "assigned in one component of a PAR and used in another")
+			}
+			if ent, bad := anyOverlap(a.written, b.read); bad {
+				return usageErr(at, ent, "assigned in one component of a PAR and used in another")
+			}
+			if ent, bad := anyOverlap(b.written, a.read); bad {
+				return usageErr(at, ent, "assigned in one component of a PAR and used in another")
+			}
+			if ent, bad := anyOverlap(a.input, b.input); bad {
+				return usageErr(at, ent, "used for input by two components of a PAR")
+			}
+			if ent, bad := anyOverlap(a.output, b.output); bad {
+				return usageErr(at, ent, "used for output by two components of a PAR")
+			}
+		}
+	}
+	return nil
+}
+
+func usageErr(at pos, ent entity, what string) *Err {
+	name := ent.sym.name
+	if ent.indexed {
+		name = name + "[...]"
+	}
+	return errf(at.line, at.col, "%q is %s", name, what)
+}

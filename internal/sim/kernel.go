@@ -1,0 +1,205 @@
+// Package sim provides the deterministic discrete-event kernel that
+// drives transputer processors, link engines and timers in simulated
+// time.
+//
+// Simulated time is measured in nanoseconds (a 20 MHz transputer cycle
+// is 50 ns; a 10 Mbit/s link bit time is 100 ns).  Events at the same
+// instant fire in the order they were scheduled, which makes every
+// simulation run reproducible.
+package sim
+
+import "fmt"
+
+// Time is a simulated instant in nanoseconds from the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// String renders the time with a convenient unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// EventID identifies a scheduled event so it can be cancelled.  The zero
+// value is never a valid ID.
+type EventID uint64
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	id  EventID
+	fn  func()
+}
+
+// Kernel is a time-ordered event queue.  It is not safe for concurrent
+// use; the whole simulation is single-threaded and deterministic.
+type Kernel struct {
+	now       Time
+	heap      []event
+	nextSeq   uint64
+	nextID    EventID
+	pending   map[EventID]bool // in the heap and not cancelled
+	cancelled map[EventID]bool // in the heap but cancelled
+	live      int              // len(pending)
+}
+
+// NewKernel returns a kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		pending:   make(map[EventID]bool),
+		cancelled: make(map[EventID]bool),
+		nextID:    1,
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of scheduled, uncancelled events.
+func (k *Kernel) Pending() int { return k.live }
+
+// Schedule runs fn at the given absolute time, which must not be in the
+// past.  It returns an ID that can be passed to Cancel.
+func (k *Kernel) Schedule(at Time, fn func()) EventID {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	id := k.nextID
+	k.nextID++
+	k.push(event{at: at, seq: k.nextSeq, id: id, fn: fn})
+	k.nextSeq++
+	k.pending[id] = true
+	k.live++
+	return id
+}
+
+// After schedules fn after a delay from the current time.
+func (k *Kernel) After(d Time, fn func()) EventID {
+	return k.Schedule(k.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing.  Cancelling an event
+// that has already fired (or was already cancelled) is a no-op.
+func (k *Kernel) Cancel(id EventID) {
+	if !k.pending[id] {
+		return
+	}
+	delete(k.pending, id)
+	k.cancelled[id] = true
+	k.live--
+}
+
+// Step fires the next event.  It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.heap) > 0 {
+		e := k.pop()
+		if k.cancelled[e.id] {
+			delete(k.cancelled, e.id)
+			continue
+		}
+		k.now = e.at
+		delete(k.pending, e.id)
+		k.live--
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty and returns the final time.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil fires events with time <= limit.  It returns true if the
+// queue drained before the limit.
+func (k *Kernel) RunUntil(limit Time) bool {
+	for {
+		e, ok := k.peek()
+		if !ok {
+			return true
+		}
+		if e.at > limit {
+			if k.now < limit {
+				k.now = limit
+			}
+			return false
+		}
+		k.Step()
+	}
+}
+
+func (k *Kernel) peek() (event, bool) {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		if k.cancelled[e.id] {
+			k.pop()
+			delete(k.cancelled, e.id)
+			continue
+		}
+		return e, true
+	}
+	return event{}, false
+}
+
+// less orders by time then scheduling sequence.
+func less(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) push(e event) {
+	k.heap = append(k.heap, e)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(k.heap[i], k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) pop() event {
+	top := k.heap[0]
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(k.heap) && less(k.heap[l], k.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(k.heap) && less(k.heap[r], k.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		k.heap[i], k.heap[smallest] = k.heap[smallest], k.heap[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,91 @@
+package tool
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"transputer/internal/core"
+)
+
+// Image container format (".tix"): a small binary envelope around a
+// core.Image so compiled programs can be stored and loaded by the
+// tools.
+var tixMagic = [4]byte{'T', 'I', 'X', '1'}
+
+type tixHeader struct {
+	Magic     [4]byte
+	Entry     int32
+	DataBytes int32
+	WsBelow   int32
+	WsAbove   int32
+	CodeLen   int32
+}
+
+// EncodeImage serialises an image.
+func EncodeImage(img core.Image) []byte {
+	var buf bytes.Buffer
+	h := tixHeader{
+		Magic:     tixMagic,
+		Entry:     int32(img.Entry),
+		DataBytes: int32(img.DataBytes),
+		WsBelow:   int32(img.WsBelow),
+		WsAbove:   int32(img.WsAbove),
+		CodeLen:   int32(len(img.Code)),
+	}
+	binary.Write(&buf, binary.LittleEndian, h)
+	buf.Write(img.Code)
+	return buf.Bytes()
+}
+
+// DecodeImage parses a serialised image.
+func DecodeImage(data []byte) (core.Image, error) {
+	var h tixHeader
+	r := bytes.NewReader(data)
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return core.Image{}, fmt.Errorf("tix: short header: %w", err)
+	}
+	if h.Magic != tixMagic {
+		return core.Image{}, fmt.Errorf("tix: bad magic %q", h.Magic[:])
+	}
+	if int(h.CodeLen) != r.Len() {
+		return core.Image{}, fmt.Errorf("tix: code length %d does not match payload %d", h.CodeLen, r.Len())
+	}
+	code := make([]byte, h.CodeLen)
+	if _, err := r.Read(code); err != nil && h.CodeLen > 0 {
+		return core.Image{}, err
+	}
+	return core.Image{
+		Code:      code,
+		Entry:     int(h.Entry),
+		DataBytes: int(h.DataBytes),
+		WsBelow:   int(h.WsBelow),
+		WsAbove:   int(h.WsAbove),
+	}, nil
+}
+
+// WriteImage stores an image at path.
+func WriteImage(path string, img core.Image) error {
+	return os.WriteFile(path, EncodeImage(img), 0o644)
+}
+
+// ReadImage loads an image from path.
+func ReadImage(path string) (core.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return core.Image{}, err
+	}
+	return DecodeImage(data)
+}
+
+// LoadAny loads a program: source (.occ/.tasm) or prebuilt image
+// (.tix).
+func LoadAny(path string, wordBytes int) (core.Image, error) {
+	if strings.ToLower(filepath.Ext(path)) == ".tix" {
+		return ReadImage(path)
+	}
+	return LoadProgram(path, wordBytes)
+}

@@ -1,0 +1,272 @@
+package transputer_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"transputer"
+)
+
+// TestQuickstart exercises the README's quickstart path through the
+// public API: compile occam, run on one transputer, read host output.
+func TestQuickstart(t *testing.T) {
+	src := `CHAN screen:
+PLACE screen AT LINK0OUT:
+VAR x:
+SEQ
+  x := 6 * 7
+  screen ! 2; x
+  screen ! 4
+`
+	img, err := transputer.CompileOccam(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := transputer.NewSystem()
+	n := sys.MustAddTransputer("main", transputer.T424().WithMemory(64*1024))
+	var out bytes.Buffer
+	host, err := sys.AttachHost(n, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(transputer.Second)
+	if !rep.Settled || !host.Done {
+		t.Fatalf("rep=%+v done=%v", rep, host.Done)
+	}
+	if out.String() != "42\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+// TestTwoTransputerConfiguration reproduces the paper's central claim:
+// the same concurrent program structure runs within one transputer or
+// across a network, with channels placed on links.
+func TestTwoTransputerConfiguration(t *testing.T) {
+	producer := `CHAN out:
+PLACE out AT LINK1OUT:
+SEQ i = [0 FOR 5]
+  out ! i * i
+`
+	consumer := `CHAN in, screen:
+PLACE in AT LINK2IN:
+PLACE screen AT LINK0OUT:
+VAR v, sum:
+SEQ
+  sum := 0
+  SEQ i = [0 FOR 5]
+    SEQ
+      in ? v
+      sum := sum + v
+  screen ! 2; sum
+  screen ! 4
+`
+	sys := transputer.NewSystem()
+	a := sys.MustAddTransputer("producer", transputer.T424().WithMemory(64*1024))
+	b := sys.MustAddTransputer("consumer", transputer.T424().WithMemory(64*1024))
+	sys.MustConnect(a, 1, b, 2)
+	host, err := sys.AttachHost(b, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, src := range map[*transputer.Node]string{a: producer, b: consumer} {
+		img, err := transputer.CompileOccam(src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Load(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := sys.Run(10 * transputer.Millisecond)
+	if !rep.Settled || !host.Done {
+		t.Fatalf("rep=%+v done=%v", rep, host.Done)
+	}
+	if len(host.Values) != 1 || host.Values[0] != 0+1+4+9+16 {
+		t.Errorf("values = %v, want [30]", host.Values)
+	}
+}
+
+// TestSameProgramOneOrTwoTransputers: the logical program (producer
+// and consumer) runs unchanged as a PAR on one transputer, then split
+// across two, producing the same answer — "a program ultimately
+// intended for a network of transputers can be compiled and executed
+// efficiently by a single computer".
+func TestSameProgramOneOrTwoTransputers(t *testing.T) {
+	// Single transputer: internal channel.
+	single := `CHAN screen:
+PLACE screen AT LINK0OUT:
+PROC producer(CHAN out) =
+  SEQ i = [1 FOR 4]
+    out ! i * 10
+:
+PROC consumer(CHAN in, CHAN rsp) =
+  VAR v, sum:
+  SEQ
+    sum := 0
+    SEQ i = [1 FOR 4]
+      SEQ
+        in ? v
+        sum := sum + v
+    rsp ! 2; sum
+    rsp ! 4
+:
+CHAN c:
+PAR
+  producer(c)
+  consumer(c, screen)
+`
+	img, err := transputer.CompileOccam(single, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := transputer.NewSystem()
+	n := sys.MustAddTransputer("single", transputer.T424().WithMemory(64*1024))
+	host, _ := sys.AttachHost(n, 0, nil)
+	if err := n.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * transputer.Millisecond)
+	if len(host.Values) != 1 || host.Values[0] != 100 {
+		t.Fatalf("single transputer: %v, want [100]", host.Values)
+	}
+
+	// Two transputers: the channel becomes a link.
+	prodSrc := `CHAN c:
+PLACE c AT LINK3OUT:
+PROC producer(CHAN out) =
+  SEQ i = [1 FOR 4]
+    out ! i * 10
+:
+producer(c)
+`
+	consSrc := `CHAN c, screen:
+PLACE c AT LINK1IN:
+PLACE screen AT LINK0OUT:
+PROC consumer(CHAN in, CHAN rsp) =
+  VAR v, sum:
+  SEQ
+    sum := 0
+    SEQ i = [1 FOR 4]
+      SEQ
+        in ? v
+        sum := sum + v
+    rsp ! 2; sum
+    rsp ! 4
+:
+consumer(c, screen)
+`
+	sys2 := transputer.NewSystem()
+	p := sys2.MustAddTransputer("p", transputer.T424().WithMemory(64*1024))
+	cns := sys2.MustAddTransputer("c", transputer.T424().WithMemory(64*1024))
+	sys2.MustConnect(p, 3, cns, 1)
+	host2, _ := sys2.AttachHost(cns, 0, nil)
+	for node, src := range map[*transputer.Node]string{p: prodSrc, cns: consSrc} {
+		img, err := transputer.CompileOccam(src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Load(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys2.Run(10 * transputer.Millisecond)
+	if len(host2.Values) != 1 || host2.Values[0] != 100 {
+		t.Fatalf("two transputers: %v, want [100]", host2.Values)
+	}
+}
+
+func TestAssembleAndDisassemble(t *testing.T) {
+	img, err := transputer.AssembleSource("\tldc #754\n\tstl 1\n\tstopp\n", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := transputer.Disassemble(img.Code)
+	// The disassembler folds prefix bytes into the final instruction:
+	// #754 shows as its decimal value with its 3-byte encoding.
+	for _, want := range []string{"27 25 44", "load constant 1876", "store local", "stop process"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestStandaloneRun(t *testing.T) {
+	m, err := transputer.NewMachine(transputer.T424().WithMemory(16 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := transputer.AssembleSource("\tldc 5\n\tldc 4\n\tmul\n\tstl 1\n\tstopp\n", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res := transputer.Run(m, transputer.Millisecond)
+	if !res.Settled {
+		t.Fatal("did not settle")
+	}
+	if m.Local(1) != 20 {
+		t.Errorf("result = %d", m.Local(1))
+	}
+	st := m.Stats()
+	if st.Instructions == 0 || st.Cycles == 0 {
+		t.Error("stats not collected")
+	}
+}
+
+// TestConfiguredCompile drives the PLACED PAR configuration path
+// through the public API: one source file, a network of two
+// transputers.
+func TestConfiguredCompile(t *testing.T) {
+	src := `DEF n = 3:
+PLACED PAR
+  PROCESSOR 0
+    CHAN out:
+    PLACE out AT LINK0OUT:
+    SEQ i = [1 FOR n]
+      out ! i * 2
+  PROCESSOR 1
+    CHAN in, screen:
+    PLACE in AT LINK3IN:
+    PLACE screen AT LINK1OUT:
+    VAR v, sum:
+    SEQ
+      sum := 0
+      SEQ i = [1 FOR n]
+        SEQ
+          in ? v
+          sum := sum + v
+      screen ! 2; sum
+      screen ! 4
+`
+	images, err := transputer.CompileOccamConfigured(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != 2 {
+		t.Fatalf("images = %v", images)
+	}
+	sys := transputer.NewSystem()
+	p0 := sys.MustAddTransputer("p0", transputer.T424().WithMemory(64*1024))
+	p1 := sys.MustAddTransputer("p1", transputer.T424().WithMemory(64*1024))
+	sys.MustConnect(p0, 0, p1, 3)
+	host, _ := sys.AttachHost(p1, 1, nil)
+	if err := p0.Load(images[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Load(images[1]); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(10 * transputer.Millisecond)
+	if !rep.Settled || !host.Done {
+		t.Fatalf("rep=%+v done=%v", rep, host.Done)
+	}
+	if len(host.Values) != 1 || host.Values[0] != 12 {
+		t.Errorf("values = %v, want [12]", host.Values)
+	}
+}
