@@ -4,93 +4,52 @@
 //
 // Usage:
 //
-//	tnet [-stats] network.tnet
+//	tnet [-stats] [-timeline out.json] [-metrics] [-prof out.prof]
+//	     [-profperiod us] network.tnet
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
-	"transputer/internal/network"
 	"transputer/internal/sim"
 	"transputer/internal/tool"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print per-node statistics")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
+	metrics := flag.Bool("metrics", false, "print probe metrics (utilization, run queues, links)")
+	prof := flag.String("prof", "", "sample every node's instruction pointer and write a profile to this file")
+	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tnet [-stats] network.tnet")
+		fmt.Fprintln(os.Stderr, "usage: tnet [flags] network.tnet")
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
+	net, err := tool.LoadNetworkFile(flag.Arg(0), os.Stdout)
 	if err != nil {
 		fatal(err)
 	}
-	topo, err := network.ParseTopology(string(src))
-	if err != nil {
-		fatal(err)
-	}
-	base := filepath.Dir(path)
+	s := net.System
 
-	s := network.NewSystem()
-	var hosts []*network.Host
-	for _, spec := range topo.Transputers {
-		cfg, err := tool.ModelConfig(spec.Model, spec.MemBytes)
-		if err != nil {
-			fatal(err)
-		}
-		n, err := s.AddTransputer(spec.Name, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if spec.Program == "" {
-			continue
-		}
-		img, err := tool.LoadAny(filepath.Join(base, spec.Program), cfg.WordBits/8)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", spec.Name, err))
-		}
-		if err := n.Load(img); err != nil {
-			fatal(fmt.Errorf("%s: %w", spec.Name, err))
+	obs := tool.NewObserver(s)
+	if *timeline != "" {
+		obs.EnableTimeline(*timeline)
+	}
+	if *metrics {
+		obs.EnableMetrics()
+	}
+	if *prof != "" {
+		obs.EnableProfile(*prof, sim.Time(*profPeriod)*sim.Microsecond)
+		for _, p := range net.Programs {
+			obs.AddProfileTarget(p.Node, p.Image, p.Path)
 		}
 	}
-	for _, c := range topo.Connections {
-		a, ok := s.Node(c.A)
-		if !ok {
-			fatal(fmt.Errorf("connect: unknown transputer %q", c.A))
-		}
-		b, ok := s.Node(c.B)
-		if !ok {
-			fatal(fmt.Errorf("connect: unknown transputer %q", c.B))
-		}
-		if err := s.Connect(a, c.ALink, b, c.BLink); err != nil {
-			fatal(err)
-		}
-	}
-	for _, h := range topo.Hosts {
-		n, ok := s.Node(h.Node)
-		if !ok {
-			fatal(fmt.Errorf("host: unknown transputer %q", h.Node))
-		}
-		host, err := s.AttachHost(n, h.Link, os.Stdout)
-		if err != nil {
-			fatal(err)
-		}
-		for _, v := range topo.Inputs[h.Node] {
-			host.QueueInput(v)
-		}
-		hosts = append(hosts, host)
-	}
+	obs.Start()
 
-	limit := topo.RunLimit
-	if limit == 0 {
-		limit = sim.Second
-	}
-	rep := s.Run(limit)
+	rep := s.Run(net.Limit)
 	if !rep.Settled {
 		fmt.Fprintf(os.Stderr, "tnet: time limit reached at %v (still running: %v)\n",
 			rep.Time, rep.Running)
@@ -108,9 +67,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simulated time: %v\n", rep.Time)
 		for _, n := range s.Nodes() {
 			tool.PrintStats(os.Stderr, n.Name, n.M.Stats(), n.M.Config().CycleNs)
+			tool.PrintLinkStats(os.Stderr, n)
 		}
-		for i, h := range hosts {
+		for i, h := range net.Hosts {
 			fmt.Fprintf(os.Stderr, "host %d: exit=%v values=%v\n", i, h.Done, h.Values)
+		}
+	}
+	if obs.Active() {
+		if err := obs.Finish(rep.Time, os.Stderr); err != nil {
+			fatal(err)
 		}
 	}
 }

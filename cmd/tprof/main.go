@@ -1,0 +1,38 @@
+// Tprof renders a sampling profile saved by trun -prof or tnet -prof.
+//
+// Usage:
+//
+//	tprof [-top n] profile.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transputer/internal/probe"
+)
+
+func main() {
+	top := flag.Int("top", 20, "rows to print per target (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tprof [-top n] profile.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p, err := probe.ReadProfile(f)
+	if err != nil {
+		fatal(err)
+	}
+	p.Report(os.Stdout, *top)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tprof:", err)
+	os.Exit(1)
+}

@@ -1,10 +1,13 @@
 // Trun runs a program on one simulated transputer with a host device
 // on link 0, printing the program's host output and, optionally,
-// execution statistics.
+// execution statistics, a Chrome-trace timeline, probe metrics and a
+// sampling profile.
 //
 // Usage:
 //
-//	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats] [-in w,w,...] program.{occ,tasm,tix}
+//	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats]
+//	     [-timeline out.json] [-metrics] [-prof out.prof] [-profperiod us]
+//	     [-in w,w,...] program.{occ,tasm,tix}
 package main
 
 import (
@@ -26,6 +29,10 @@ func main() {
 	limitMs := flag.Int("limit", 1000, "simulated time limit in milliseconds (0 = no limit)")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	trace := flag.Bool("trace", false, "trace every instruction to standard error")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
+	metrics := flag.Bool("metrics", false, "print probe metrics (utilization, run queues, links)")
+	prof := flag.String("prof", "", "sample the instruction pointer and write a profile to this file")
+	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	input := flag.String("in", "", "comma-separated words queued for host input")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -63,11 +70,30 @@ func main() {
 	if err := n.Load(img); err != nil {
 		fatal(err)
 	}
+	var flushTrace func() error
 	if *trace {
-		n.M.SetTrace(core.TraceWriter(os.Stderr))
+		tw, flush := core.TraceWriter(os.Stderr)
+		n.M.SetTrace(tw)
+		flushTrace = flush
 	}
 
+	obs := tool.NewObserver(s)
+	if *timeline != "" {
+		obs.EnableTimeline(*timeline)
+	}
+	if *metrics {
+		obs.EnableMetrics()
+	}
+	if *prof != "" {
+		obs.EnableProfile(*prof, sim.Time(*profPeriod)*sim.Microsecond)
+		obs.AddProfileTarget(n, img, flag.Arg(0))
+	}
+	obs.Start()
+
 	rep := s.Run(sim.Time(*limitMs) * sim.Millisecond)
+	if flushTrace != nil {
+		flushTrace()
+	}
 	if err := n.M.Fault(); err != nil {
 		fatal(err)
 	}
@@ -81,6 +107,11 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "simulated time: %v (host exit: %v)\n", rep.Time, host.Done)
 		tool.PrintStats(os.Stderr, n.Name, n.M.Stats(), n.M.Config().CycleNs)
+	}
+	if obs.Active() {
+		if err := obs.Finish(rep.Time, os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 	if n.M.ErrorFlag() {
 		fmt.Fprintln(os.Stderr, "trun: machine error flag set")

@@ -10,6 +10,7 @@ package asm
 import (
 	"fmt"
 
+	"transputer/internal/core"
 	"transputer/internal/isa"
 )
 
@@ -25,6 +26,7 @@ const (
 	kindLdpi                   // ldc (label - here) ; ldpi
 	kindBytes                  // raw data bytes
 	kindAlign                  // pad to word boundary
+	kindMark                   // zero-size source-line marker
 )
 
 type item struct {
@@ -126,10 +128,19 @@ func (b *Builder) Align() {
 	b.items = append(b.items, item{kind: kindAlign})
 }
 
-// Result is an assembled code image with its symbol table.
+// Mark records that code emitted from here until the next mark derives
+// from the given source line.  Marks occupy no space; they surface in
+// the assembled Result as a source map.
+func (b *Builder) Mark(line int) {
+	b.items = append(b.items, item{kind: kindMark, srcLine: line})
+}
+
+// Result is an assembled code image with its symbol table and source
+// map.
 type Result struct {
 	Code   []byte
 	Labels map[string]int // label -> byte offset
+	Marks  []core.SourceMark
 }
 
 // Assemble resolves all labels and encodes the program.
@@ -187,10 +198,19 @@ func (b *Builder) Assemble() (*Result, error) {
 	for name, idx := range b.labels {
 		labels[name] = offsets[idx]
 	}
+	var marks []core.SourceMark
 	for i := range b.items {
 		it := &b.items[i]
 		start := len(code)
 		switch it.kind {
+		case kindMark:
+			// Successive marks at one offset collapse to the last.
+			if n := len(marks); n > 0 && marks[n-1].Offset == len(code) {
+				marks[n-1].Line = it.srcLine
+			} else {
+				marks = append(marks, core.SourceMark{Offset: len(code), Line: it.srcLine})
+			}
+			continue
 		case kindBytes:
 			code = append(code, it.bytes...)
 		case kindAlign:
@@ -215,7 +235,7 @@ func (b *Builder) Assemble() (*Result, error) {
 				i, len(code)-start, it.size)
 		}
 	}
-	return &Result{Code: code, Labels: labels}, nil
+	return &Result{Code: code, Labels: labels, Marks: marks}, nil
 }
 
 // appendPadded appends enc front-padded to exactly size bytes with
@@ -241,7 +261,7 @@ func (b *Builder) operandFor(it *item, offsets []int, i int) (int64, error) {
 		return offsets[idx], nil
 	}
 	switch it.kind {
-	case kindFn, kindOp, kindBytes, kindAlign:
+	case kindFn, kindOp, kindBytes, kindAlign, kindMark:
 		return it.operand, nil
 	case kindBranch:
 		target, err := lookup(it.label)

@@ -81,6 +81,7 @@ func Assemble(src string, wordBytes int) (*Assembled, error) {
 		return nil, err
 	}
 	img.Code = res.Code
+	img.Marks = res.Marks
 	if entry != "" {
 		off, ok := res.Labels[entry]
 		if !ok {
@@ -140,6 +141,7 @@ func assembleLine(b *Builder, img *core.Image, entry *string, seenWs *bool, mnem
 		b.Bytes(make([]byte, n))
 		return nil
 	case "ldpi":
+		b.Mark(line)
 		if rest != "" && isIdent(rest) {
 			b.Ldpi(rest)
 			return nil
@@ -149,12 +151,14 @@ func assembleLine(b *Builder, img *core.Image, entry *string, seenWs *bool, mnem
 	}
 
 	if fn, ok := isa.FunctionByMnemonic(mnem); ok && fn != isa.FnOpr {
+		b.Mark(line)
 		return assembleOperand(b, fn, rest, line)
 	}
 	if op, ok := isa.OpByMnemonic(mnem); ok {
 		if rest != "" {
 			return fmt.Errorf("line %d: operation %s takes no operand", line, mnem)
 		}
+		b.Mark(line)
 		b.Op(op)
 		return nil
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "transputer/internal/isa"
+import (
+	"transputer/internal/isa"
+	"transputer/internal/probe"
+)
 
 // Channel communication (paper, 3.2.10).
 //
@@ -47,6 +50,9 @@ func (m *Machine) outputMessage() int {
 		// First at the rendezvous: wait for the inputter.
 		m.setWord(chAddr, m.Wdesc)
 		m.setWordIndex(w, wsPointer, ptr)
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
+		}
 		m.blockOnComm()
 		return isa.CommunicationCycles(0, m.wordBits)
 	}
@@ -60,6 +66,9 @@ func (m *Machine) outputMessage() int {
 		m.setWord(chAddr, m.Wdesc)
 		m.setWordIndex(w, wsPointer, ptr)
 		m.setWordIndex(partnerW, wsState, m.altReady())
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
+		}
 		m.blockOnComm()
 		return isa.CommunicationCycles(0, m.wordBits)
 	case m.altWaiting():
@@ -68,6 +77,9 @@ func (m *Machine) outputMessage() int {
 		m.setWordIndex(w, wsPointer, ptr)
 		m.setWordIndex(partnerW, wsState, m.altReady())
 		m.wake(chWord)
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
+		}
 		m.blockOnComm()
 		return isa.CommunicationCycles(0, m.wordBits)
 	}
@@ -78,6 +90,10 @@ func (m *Machine) outputMessage() int {
 	m.copyBytes(dst, ptr, count)
 	m.setWord(chAddr, m.notProcess())
 	m.stats.BytesOut += uint64(count)
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.ChanRendezvous, Proc: m.Wdesc, Addr: chAddr,
+			Bytes: count, Arg: int64(chWord)})
+	}
 	return m.completeTransfer(chWord, count)
 }
 
@@ -103,6 +119,9 @@ func (m *Machine) inputMessage() int {
 	if chWord == m.notProcess() {
 		m.setWord(chAddr, m.Wdesc)
 		m.setWordIndex(w, wsPointer, ptr)
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr})
+		}
 		m.blockOnComm()
 		return isa.CommunicationCycles(0, m.wordBits)
 	}
@@ -113,6 +132,10 @@ func (m *Machine) inputMessage() int {
 	m.copyBytes(ptr, src, count)
 	m.setWord(chAddr, m.notProcess())
 	m.stats.BytesIn += uint64(count)
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.ChanRendezvous, Proc: m.Wdesc, Addr: chAddr,
+			Bytes: count, Arg: int64(chWord)})
+	}
 	return m.completeTransfer(chWord, count)
 }
 
@@ -141,7 +164,17 @@ func (m *Machine) externalTransfer(link int, ptr uint64, count int, output bool)
 		return 1
 	}
 	wdesc := m.Wdesc
-	done := func() { m.wake(wdesc) }
+	done := func() {
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.LinkXferEnd, Proc: wdesc, Link: link,
+				Bytes: count, Out: output})
+		}
+		m.wake(wdesc)
+	}
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.LinkXferStart, Proc: wdesc, Link: link,
+			Bytes: count, Out: output})
+	}
 	m.blockOnComm()
 	if output {
 		m.stats.ExternalOut++

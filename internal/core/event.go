@@ -1,5 +1,7 @@
 package core
 
+import "transputer/internal/probe"
+
 // The event channel (the ninth reserved word, after the link channels)
 // lets external hardware signal a process: "the equivalent of an
 // interrupt (a high priority process being scheduled in order to
@@ -13,6 +15,9 @@ package core
 // event channel it becomes ready (preempting a lower-priority process
 // as any wakeup does); otherwise the event is latched.
 func (m *Machine) RaiseEvent() {
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.EventPin})
+	}
 	if m.eventWaiter != m.notProcess() {
 		w := m.eventWaiter
 		m.eventWaiter = m.notProcess()

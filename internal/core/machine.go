@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
 
@@ -87,6 +88,14 @@ type Machine struct {
 	// waiting counts processes blocked on channels, timers, events or
 	// stop, for deadlock diagnostics.
 	waiting int
+
+	// bus, when non-nil, receives structured probe events from the
+	// scheduler, channels and timers.  Every emit site nil-checks it,
+	// so a detached machine pays nothing.
+	bus *probe.Bus
+	// qlen tracks the run-queue length per priority, published in
+	// probe events.
+	qlen [2]int
 
 	stats Stats
 }
@@ -179,6 +188,7 @@ func (m *Machine) resetSchedState() {
 	m.eventWaiter = np
 	m.eventArmed = nil
 	m.waiting = 0
+	m.qlen[0], m.qlen[1] = 0, 0
 }
 
 // Attach provides the simulated clock and, optionally, the link engine.
@@ -189,6 +199,25 @@ func (m *Machine) Attach(clock Clock, ext External) {
 
 // OnReady registers the idle-to-ready callback used by the driver.
 func (m *Machine) OnReady(fn func()) { m.onReady = fn }
+
+// AttachProbe connects (or with nil, disconnects) the machine's probe
+// bus.  With no bus attached the instrumentation is a nil check per
+// scheduling event and nothing more.
+func (m *Machine) AttachProbe(b *probe.Bus) { m.bus = b }
+
+// emit stamps and publishes a probe event.  Callers must have checked
+// m.bus != nil.
+func (m *Machine) emit(e probe.Event) {
+	e.Time = m.now()
+	e.Cycles = m.stats.Cycles
+	e.Node = m.cfg.Name
+	m.bus.Publish(e)
+}
+
+// cycleDur converts a cycle count to simulated time.
+func (m *Machine) cycleDur(cycles int) sim.Time {
+	return sim.Time(int64(cycles) * int64(m.cfg.CycleNs))
+}
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -275,6 +304,18 @@ type Image struct {
 	// WsAbove is the number of local-variable words at and above the
 	// initial workspace pointer.
 	WsAbove int
+	// Marks is the optional source map: code offsets annotated with the
+	// source line they derive from, sorted by offset.  Consumers (the
+	// sampling profiler) attribute an offset to the greatest mark at or
+	// below it.
+	Marks []SourceMark
+}
+
+// SourceMark associates a byte offset in Image.Code with a source line:
+// code from Offset up to the next mark derives from Line.
+type SourceMark struct {
+	Offset int
+	Line   int
 }
 
 // CodeStart returns the address code is loaded at.

@@ -476,9 +476,12 @@ func TestTraceHook(t *testing.T) {
 		t.Errorf("event 2 = %q", events[2].Instr())
 	}
 	var sb strings.Builder
-	tw := core.TraceWriter(&sb)
+	tw, flush := core.TraceWriter(&sb)
 	for _, e := range events {
 		tw(e)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "store local 1") {
 		t.Errorf("trace listing:\n%s", sb.String())

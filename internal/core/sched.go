@@ -1,6 +1,9 @@
 package core
 
-import "transputer/internal/isa"
+import (
+	"transputer/internal/isa"
+	"transputer/internal/probe"
+)
 
 // Scheduler (paper, 3.2.4).
 //
@@ -38,6 +41,10 @@ func (m *Machine) enqueue(wdesc uint64) {
 	}
 	m.Bptr[pri] = wptr
 	m.stats.Enqueues++
+	m.qlen[pri]++
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.ProcReady, Proc: wdesc, Pri: pri, Depth: m.qlen[pri]})
+	}
 }
 
 // dequeue removes and returns the front process of the given priority
@@ -54,6 +61,7 @@ func (m *Machine) dequeue(pri int) uint64 {
 	} else {
 		m.Fptr[pri] = m.wordIndex(wptr, wsLink)
 	}
+	m.qlen[pri]--
 	return wptr | uint64(pri)
 }
 
@@ -71,6 +79,10 @@ func (m *Machine) schedule(wdesc uint64) {
 		m.Iptr = m.wordIndex(wptrOf(wdesc), wsIptr)
 		m.Oreg = 0
 		m.timesliceCount = 0
+		if m.bus != nil {
+			pri := priorityOf(wdesc)
+			m.emit(probe.Event{Kind: probe.ProcDispatch, Proc: wdesc, Pri: pri, Depth: m.qlen[pri]})
+		}
 		m.notifyReady()
 		return
 	}
@@ -97,6 +109,11 @@ func (m *Machine) preemptNow() {
 	if high == m.notProcess() {
 		return
 	}
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.ProcStop, Proc: m.Wdesc, Pri: PriorityLow})
+		m.emit(probe.Event{Kind: probe.Preempt, Proc: high, Pri: PriorityHigh,
+			Dur: m.cycleDur(isa.PreemptCycles)})
+	}
 	m.savedLow.valid = true
 	m.savedLow.Iptr = m.Iptr
 	m.savedLow.Wdesc = m.Wdesc
@@ -111,6 +128,10 @@ func (m *Machine) preemptNow() {
 	m.Oreg = 0
 	m.pendingSwitchCycles += isa.PreemptCycles
 	m.stats.Preemptions++
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.ProcDispatch, Proc: high, Pri: PriorityHigh,
+			Depth: m.qlen[PriorityHigh]})
+	}
 }
 
 // deschedule is invoked by instructions that stop the current process
@@ -120,8 +141,15 @@ func (m *Machine) preemptNow() {
 func (m *Machine) deschedule() {
 	np := m.notProcess()
 	wasHigh := m.CurrentPriority() == PriorityHigh
+	if m.bus != nil && m.Wdesc != np {
+		m.emit(probe.Event{Kind: probe.ProcStop, Proc: m.Wdesc, Pri: priorityOf(m.Wdesc)})
+	}
 	if next := m.dequeue(PriorityHigh); next != np {
 		m.dispatch(next)
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.ProcDispatch, Proc: next,
+				Pri: PriorityHigh, Depth: m.qlen[PriorityHigh]})
+		}
 		return
 	}
 	// No high-priority work.  Resume an interrupted low-priority
@@ -132,10 +160,16 @@ func (m *Machine) deschedule() {
 		return
 	}
 	if next := m.dequeue(PriorityLow); next != np {
+		var charge int
 		if wasHigh {
 			m.pendingSwitchCycles += isa.ResumeLowCycles
+			charge = isa.ResumeLowCycles
 		}
 		m.dispatch(next)
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.ProcDispatch, Proc: next,
+				Pri: PriorityLow, Depth: m.qlen[PriorityLow], Dur: m.cycleDur(charge)})
+		}
 		return
 	}
 	m.Wdesc = np // idle
@@ -165,6 +199,10 @@ func (m *Machine) restoreSavedLow() {
 	m.savedLow.valid = false
 	m.pendingSwitchCycles += isa.ResumeLowCycles
 	m.stats.Deschedules++
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.ProcDispatch, Proc: m.Wdesc, Pri: PriorityLow,
+			Depth: m.qlen[PriorityLow], Dur: m.cycleDur(isa.ResumeLowCycles)})
+	}
 }
 
 // blockCurrent saves the current process's instruction pointer and
@@ -213,6 +251,9 @@ func (m *Machine) timesliceCheck() {
 		return // nothing else to run; keep going
 	}
 	m.stats.Timeslices++
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.Timeslice, Proc: m.Wdesc, Pri: PriorityLow})
+	}
 	m.setWordIndex(wptrOf(m.Wdesc), wsIptr, m.Iptr)
 	m.enqueue(m.Wdesc)
 	m.deschedule()

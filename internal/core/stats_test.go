@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"transputer/internal/isa"
+)
+
+// commProgram builds a two-process program that passes one n-byte
+// message over an internal channel: the parent starts a child, blocks
+// inputting from channel W[3], and the child outputs from a static
+// buffer.  Everything except the message length is identical across
+// instances, so cycle differences isolate the communication charge.
+func commProgram(n int) string {
+	return fmt.Sprintf(`
+	mint
+	stl 3          -- channel word
+	ldc 2
+	stl 1
+	ldpi cont
+	stl 0
+	ldc child-after
+	ldlp -40
+	startp
+after:
+	ajw -20
+	ldpi bufin
+	ldlp 23        -- channel W[3] seen from W-20
+	ldc %d
+	in
+	ldlp 20
+	endp
+child:
+	ldpi bufout
+	ldlp 43        -- channel W[3] seen from W-40
+	ldc %d
+	out
+	ldlp 40
+	endp
+cont:
+	stopp
+bufout:
+	space 256
+bufin:
+	space 256
+`, n, n)
+}
+
+// TestMessageCounters checks the communication counters for a single
+// internal rendezvous.
+func TestMessageCounters(t *testing.T) {
+	m := runSrc(t, commProgram(16))
+	st := m.Stats()
+	if st.MessagesIn != 1 || st.MessagesOut != 1 {
+		t.Errorf("messages = %d in / %d out, want 1/1", st.MessagesIn, st.MessagesOut)
+	}
+	if st.ExternalIn != 0 || st.ExternalOut != 0 {
+		t.Errorf("external = %d in / %d out, want 0/0 for an internal channel",
+			st.ExternalIn, st.ExternalOut)
+	}
+	// Only the completing side records the bytes moved.
+	if st.BytesIn+st.BytesOut != 16 {
+		t.Errorf("bytes = %d in + %d out, want 16 total", st.BytesIn, st.BytesOut)
+	}
+	if st.Enqueues == 0 {
+		t.Error("starting the child should enqueue it")
+	}
+	if st.Deschedules == 0 {
+		t.Error("blocking on the channel should deschedule")
+	}
+}
+
+// TestChannelCostModel checks the paper's communication charge,
+// max(24, 21 + 8n/wordlength) cycles (section 3.2.10): two runs that
+// differ only in message length must differ by exactly the model's
+// charge difference.  240 bytes also exercises the interruptible burn
+// path for charges beyond the inline limit.
+func TestChannelCostModel(t *testing.T) {
+	small := runSrc(t, commProgram(16)).Stats().Cycles
+	large := runSrc(t, commProgram(240)).Stats().Cycles
+	want := uint64(isa.CommunicationCycles(240, 32) - isa.CommunicationCycles(16, 32))
+	if large-small != want {
+		t.Errorf("cycle delta = %d, want %d (model: %d vs %d cycles)",
+			large-small, want,
+			isa.CommunicationCycles(240, 32), isa.CommunicationCycles(16, 32))
+	}
+	// The blocked side's minimum charge means even a zero-length
+	// exchange costs at least 24 cycles per side.
+	if isa.CommunicationCycles(0, 32) != 24 {
+		t.Errorf("CommunicationCycles(0) = %d, want 24", isa.CommunicationCycles(0, 32))
+	}
+}

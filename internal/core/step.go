@@ -98,6 +98,7 @@ func (m *Machine) execOne() int {
 			m.countInstr(bytes, int(fn))
 			if m.trace != nil {
 				m.trace(TraceEvent{
+					Time: m.now(),
 					Addr: startAddr, Wdesc: m.Wdesc,
 					Areg: m.Areg, Breg: m.Breg, Creg: m.Creg,
 					Fn: fn, Operand: operand, Cycles: m.stats.Cycles,

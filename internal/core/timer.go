@@ -2,6 +2,7 @@ package core
 
 import (
 	"transputer/internal/isa"
+	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
 
@@ -57,6 +58,9 @@ func (m *Machine) timerInput() int {
 	w := m.wptr()
 	m.setWordIndex(w, wsTime, t)
 	m.timerEnqueue(pri, w)
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.TimerWait, Proc: m.Wdesc, Pri: pri, Arg: int64(t)})
+	}
 	m.blockOnComm()
 	m.armTimer()
 	return isa.TinCycles(false)
@@ -160,6 +164,9 @@ func (m *Machine) timerExpired() {
 			}
 			m.Tptr[pri] = m.wordIndex(head, wsTLink)
 			wdesc := head | uint64(pri)
+			if m.bus != nil {
+				m.emit(probe.Event{Kind: probe.TimerFire, Proc: wdesc, Pri: pri})
+			}
 			if m.wordIndex(head, wsState) == m.altWaiting() {
 				// A timer alternative: mark ready and wake.
 				m.setWordIndex(head, wsState, m.altReady())
@@ -211,6 +218,9 @@ func (m *Machine) timerAltWait() int {
 		}
 		m.timerEnqueue(pri, w)
 		m.setWordIndex(w, wsState, m.altWaiting())
+		if m.bus != nil {
+			m.emit(probe.Event{Kind: probe.TimerWait, Proc: m.Wdesc, Pri: pri, Arg: int64(t)})
+		}
 		m.blockOnComm()
 		m.armTimer()
 		return isa.AltwtCycles(false)

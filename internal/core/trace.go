@@ -1,14 +1,20 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
 	"transputer/internal/isa"
+	"transputer/internal/sim"
 )
 
 // TraceEvent describes one instruction about to execute.
 type TraceEvent struct {
+	// Time is the simulated instant of the event, so instruction traces
+	// can be correlated with scheduler and link activity on the probe
+	// bus (zero when no clock is attached).
+	Time sim.Time
 	// Addr is the address of the instruction's first byte (including
 	// prefixes).
 	Addr uint64
@@ -38,11 +44,32 @@ type Trace func(TraceEvent)
 // Tracing is for debugging and does not alter timing.
 func (m *Machine) SetTrace(fn Trace) { m.trace = fn }
 
-// TraceWriter returns a Trace that writes one line per instruction:
-// cycle count, process, address, stack and the full instruction name.
-func TraceWriter(w io.Writer) Trace {
-	return func(e TraceEvent) {
-		fmt.Fprintf(w, "%10d  W=%08X  %08X  A=%08X B=%08X C=%08X  %s\n",
-			e.Cycles, e.Wdesc, e.Addr, e.Areg, e.Breg, e.Creg, e.Instr())
-	}
+// TraceSink formats instruction traces onto a buffered writer: one
+// line per instruction with simulated time, cycle count, process,
+// address, stack and the full instruction name.  Callers must Flush
+// when tracing ends (the per-instruction Fprintf of the unbuffered
+// original dominated trace-enabled runs).
+type TraceSink struct {
+	bw *bufio.Writer
+}
+
+// NewTraceWriter builds a buffered trace sink over w.
+func NewTraceWriter(w io.Writer) *TraceSink {
+	return &TraceSink{bw: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// Trace writes one event; pass it to Machine.SetTrace.
+func (s *TraceSink) Trace(e TraceEvent) {
+	fmt.Fprintf(s.bw, "%12v %10d  W=%08X  %08X  A=%08X B=%08X C=%08X  %s\n",
+		e.Time, e.Cycles, e.Wdesc, e.Addr, e.Areg, e.Breg, e.Creg, e.Instr())
+}
+
+// Flush drains the buffer.
+func (s *TraceSink) Flush() error { return s.bw.Flush() }
+
+// TraceWriter returns a buffered Trace writing to w and a flush
+// function that must be called when the run ends.
+func TraceWriter(w io.Writer) (Trace, func() error) {
+	s := NewTraceWriter(w)
+	return s.Trace, s.Flush
 }

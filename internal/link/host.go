@@ -20,8 +20,8 @@ func NewHostEnd(k *sim.Kernel) *HostEnd {
 
 // ConnectHost wires link l of a transputer's engine to the host end.
 func ConnectHost(e *Engine, l int, h *HostEnd) {
-	th := &wire{k: e.k, bitNs: BitNs} // transputer -> host
-	ht := &wire{k: e.k, bitNs: BitNs} // host -> transputer
+	th := &wire{k: e.k, bitNs: BitNs, owner: e, link: l} // transputer -> host
+	ht := &wire{k: e.k, bitNs: BitNs}                    // host -> transputer
 	e.outs[l].wire = th
 	e.outs[l].peer = h.in
 	e.ins[l].ackWire = th

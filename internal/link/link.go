@@ -18,6 +18,7 @@ package link
 
 import (
 	"transputer/internal/core"
+	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
 
@@ -59,6 +60,12 @@ type wire struct {
 	acks  []packet // pending acknowledges (sent first)
 	data  []packet // pending data bytes
 	stats WireStats
+
+	// owner and link attribute this wire's traffic to the engine whose
+	// outgoing signal line it is, for probe events.  Wires driven by a
+	// host end have no owner and publish nothing.
+	owner *Engine
+	link  int
 }
 
 func (w *wire) send(p packet) {
@@ -93,6 +100,10 @@ func (w *wire) transmitNext() {
 	} else {
 		w.stats.DataBytes++
 	}
+	if w.owner != nil && w.owner.bus != nil {
+		w.owner.emit(probe.Event{Kind: probe.WirePacket, Link: w.link,
+			Ack: p.isAck, Bytes: boolByte(!p.isAck), Dur: sim.Time(dur)})
+	}
 	if p.onStart != nil {
 		p.onStart()
 	}
@@ -111,6 +122,10 @@ type outHalf struct {
 	wire *wire // this end's outgoing signal line for the link
 	peer *inHalf
 
+	// eng and link attribute ack-stall probe events; nil for host ends.
+	eng  *Engine
+	link int
+
 	active  bool
 	read    func(i int) byte
 	count   int
@@ -118,6 +133,9 @@ type outHalf struct {
 	done    func()
 	txEnded bool // current byte finished transmitting
 	acked   bool // current byte acknowledged
+	// txEndAt records when the current byte finished transmitting, for
+	// measuring the wait for its acknowledge.
+	txEndAt sim.Time
 }
 
 // inHalf is the receiving side of one channel of a link.
@@ -154,6 +172,7 @@ type Engine struct {
 	m    *core.Machine
 	outs [core.NumLinks]*outHalf
 	ins  [core.NumLinks]*inHalf
+	bus  *probe.Bus
 }
 
 var _ core.External = (*Engine)(nil)
@@ -162,17 +181,36 @@ var _ core.External = (*Engine)(nil)
 func NewEngine(k *sim.Kernel, m *core.Machine) *Engine {
 	e := &Engine{k: k, m: m}
 	for i := range e.outs {
-		e.outs[i] = &outHalf{}
+		e.outs[i] = &outHalf{eng: e, link: i}
 		e.ins[i] = &inHalf{}
 	}
 	return e
 }
 
+// AttachProbe connects the engine's wires and senders to a probe bus.
+func (e *Engine) AttachProbe(b *probe.Bus) { e.bus = b }
+
+// emit stamps and publishes a probe event under the engine's machine.
+// Callers must have checked e.bus != nil.
+func (e *Engine) emit(ev probe.Event) {
+	ev.Time = e.k.Now()
+	ev.Node = e.m.Name()
+	ev.Cycles = e.m.Stats().Cycles
+	e.bus.Publish(ev)
+}
+
+func boolByte(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Connect wires link la of engine a to link lb of engine b with a pair
 // of signal lines.
 func Connect(a *Engine, la int, b *Engine, lb int) {
-	ab := &wire{k: a.k, bitNs: BitNs}
-	ba := &wire{k: b.k, bitNs: BitNs}
+	ab := &wire{k: a.k, bitNs: BitNs, owner: a, link: la}
+	ba := &wire{k: b.k, bitNs: BitNs, owner: b, link: lb}
 	a.outs[la].wire = ab
 	a.outs[la].peer = b.ins[lb]
 	a.ins[la].ackWire = ab
@@ -241,10 +279,22 @@ func (o *outHalf) sendByte() {
 
 func (o *outHalf) txEnd() {
 	o.txEnded = true
+	if !o.acked && o.eng != nil {
+		o.txEndAt = o.eng.k.Now()
+	}
 	o.advance()
 }
 
 func (o *outHalf) ackArrived() {
+	// An ack landing after the byte finished transmitting stalls the
+	// sender for the difference (the overlapped acknowledge of figure 1
+	// exists to make this zero in the streaming case).
+	if o.txEnded && !o.acked && o.eng != nil && o.eng.bus != nil {
+		if stall := o.eng.k.Now() - o.txEndAt; stall > 0 {
+			o.eng.emit(probe.Event{Kind: probe.AckStall, Link: o.link,
+				Dur: stall})
+		}
+	}
 	o.acked = true
 	o.advance()
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"transputer/internal/link"
+	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
 
@@ -41,6 +42,19 @@ type Host struct {
 
 	k     *sim.Kernel
 	input []int64 // words queued for HostCmdGetWord
+	bus   *probe.Bus
+}
+
+// emit publishes a host-command probe event attributed to the node the
+// host is wired to.
+func (h *Host) emit(cmd, arg int64) {
+	if h.bus == nil {
+		return
+	}
+	h.bus.Publish(probe.Event{
+		Time: h.k.Now(), Node: h.node.Name,
+		Kind: probe.HostCommand, Arg: arg, Bytes: int(cmd),
+	})
 }
 
 func newHost(k *sim.Kernel, n *Node, l int, w io.Writer) *Host {
@@ -64,17 +78,21 @@ func (h *Host) readCommand() {
 		switch decodeWord(b) {
 		case HostCmdPutChar:
 			h.end.Recv(h.wordBytes, func(d []byte) {
-				h.write([]byte{byte(decodeWord(d))})
+				v := decodeWord(d)
+				h.emit(HostCmdPutChar, v)
+				h.write([]byte{byte(v)})
 				h.readCommand()
 			})
 		case HostCmdPutWord:
 			h.end.Recv(h.wordBytes, func(d []byte) {
 				v := decodeWord(d)
+				h.emit(HostCmdPutWord, v)
 				h.Values = append(h.Values, v)
 				h.write([]byte(formatInt(v) + "\n"))
 				h.readCommand()
 			})
 		case HostCmdExit:
+			h.emit(HostCmdExit, 0)
 			h.Done = true
 			h.DoneAt = h.k.Now()
 			// Keep listening so stray words do not wedge the link.
@@ -85,6 +103,7 @@ func (h *Host) readCommand() {
 				v = h.input[0]
 				h.input = h.input[1:]
 			}
+			h.emit(HostCmdGetWord, v)
 			h.end.Send(encodeWord(v, h.wordBytes), nil)
 			h.readCommand()
 		default:

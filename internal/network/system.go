@@ -11,6 +11,7 @@ import (
 
 	"transputer/internal/core"
 	"transputer/internal/link"
+	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
 
@@ -30,6 +31,7 @@ type System struct {
 	nodes  []*Node
 	byName map[string]*Node
 	hosts  []*Host
+	bus    *probe.Bus
 }
 
 // NewSystem returns an empty system.
@@ -52,9 +54,27 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 	n.runner = core.NewRunner(s.Kernel, m)
 	n.Engine = link.NewEngine(s.Kernel, m)
 	m.Attach(kernelClock{s.Kernel}, n.Engine)
+	if s.bus != nil {
+		m.AttachProbe(s.bus)
+		n.Engine.AttachProbe(s.bus)
+	}
 	s.nodes = append(s.nodes, n)
 	s.byName[name] = n
 	return n, nil
+}
+
+// AttachProbe connects every machine, link engine and host in the
+// system — present and future — to a probe bus.  With no bus attached
+// (the default) the instrumented code paths reduce to one nil check.
+func (s *System) AttachProbe(b *probe.Bus) {
+	s.bus = b
+	for _, n := range s.nodes {
+		n.M.AttachProbe(b)
+		n.Engine.AttachProbe(b)
+	}
+	for _, h := range s.hosts {
+		h.bus = b
+	}
 }
 
 // kernelClock adapts the kernel to core.Clock.
@@ -119,6 +139,7 @@ func (s *System) AttachHost(n *Node, l int, w io.Writer) (*Host, error) {
 		return nil, fmt.Errorf("network: %s link %d already connected", n.Name, l)
 	}
 	h := newHost(s.Kernel, n, l, w)
+	h.bus = s.bus
 	n.wired[l] = true
 	s.hosts = append(s.hosts, h)
 	return h, nil

@@ -186,6 +186,7 @@ func compileProgram(prog process, opt Options) (*Compiled, error) {
 			Entry:   0,
 			WsBelow: root.below + opt.ExtraWsBelow,
 			WsAbove: root.above,
+			Marks:   res.Marks,
 		},
 		Labels: res.Labels,
 		Above:  root.above,

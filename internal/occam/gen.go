@@ -364,6 +364,13 @@ func (g *gen) binaryOp(v *binaryExpr) {
 // ---- processes ------------------------------------------------------
 
 func (g *gen) process(p process) {
+	// Source map for the profiler: code generated for this process node
+	// derives from its source line.  Constructs that only arrange their
+	// children (SEQ, declarations) still get a mark, which the next
+	// child's own mark immediately supersedes at the same offset.
+	if line := p.procPos().line; line > 0 {
+		g.b.Mark(line)
+	}
 	switch v := p.(type) {
 	case *skipProc:
 		// SKIP has no effect and terminates.

@@ -1,0 +1,212 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"transputer/internal/sim"
+)
+
+// Metrics aggregates the bus stream into per-node and per-link numbers:
+// processor busy/idle/switching time, time-weighted run-queue depth per
+// priority, link throughput, wire occupancy and ack-stall time.
+type Metrics struct {
+	nodes map[string]*nodeMetrics
+	order []string
+	end   sim.Time
+}
+
+type nodeMetrics struct {
+	busy        sim.Time
+	switching   sim.Time
+	runningFrom sim.Time
+	running     bool
+	lastSeen    sim.Time
+
+	queues [2]queueMetrics
+	links  map[int]*linkMetrics
+
+	dispatches, preempts, timeslices uint64
+	rendezvous                       uint64
+	rendezvousBytes                  uint64
+}
+
+// queueMetrics integrates run-queue depth over time.
+type queueMetrics struct {
+	depth     int
+	max       int
+	weighted  float64 // ∫ depth dt, in depth·ns
+	lastStamp sim.Time
+}
+
+func (q *queueMetrics) set(depth int, at sim.Time) {
+	q.weighted += float64(q.depth) * float64(at-q.lastStamp)
+	q.lastStamp = at
+	q.depth = depth
+	if depth > q.max {
+		q.max = depth
+	}
+}
+
+type linkMetrics struct {
+	dataBytes uint64
+	acks      uint64
+	wireBusy  sim.Time
+	ackStall  sim.Time
+	bytesOut  uint64
+	bytesIn   uint64
+	xfers     uint64
+}
+
+// NewMetrics subscribes a fresh aggregator to the bus.
+func NewMetrics(b *Bus) *Metrics {
+	m := &Metrics{nodes: map[string]*nodeMetrics{}}
+	b.Subscribe(m.consume)
+	return m
+}
+
+func (m *Metrics) node(name string) *nodeMetrics {
+	n, ok := m.nodes[name]
+	if !ok {
+		n = &nodeMetrics{links: map[int]*linkMetrics{}}
+		m.nodes[name] = n
+		m.order = append(m.order, name)
+	}
+	return n
+}
+
+func (n *nodeMetrics) link(i int) *linkMetrics {
+	l, ok := n.links[i]
+	if !ok {
+		l = &linkMetrics{}
+		n.links[i] = l
+	}
+	return l
+}
+
+func (m *Metrics) consume(e Event) {
+	n := m.node(e.Node)
+	n.lastSeen = e.Time
+	if e.Time > m.end {
+		m.end = e.Time
+	}
+	switch e.Kind {
+	case ProcDispatch:
+		if !n.running {
+			n.running = true
+			n.runningFrom = e.Time
+		}
+		n.dispatches++
+		n.switching += e.Dur
+		n.queues[e.Pri].set(e.Depth, e.Time)
+	case ProcStop:
+		if n.running {
+			n.busy += e.Time - n.runningFrom
+			n.running = false
+		}
+	case ProcReady:
+		n.queues[e.Pri].set(e.Depth, e.Time)
+	case Preempt:
+		n.preempts++
+		n.switching += e.Dur
+	case Timeslice:
+		n.timeslices++
+	case ChanRendezvous:
+		n.rendezvous++
+		n.rendezvousBytes += uint64(e.Bytes)
+	case LinkXferStart:
+		l := n.link(e.Link)
+		l.xfers++
+		if e.Out {
+			l.bytesOut += uint64(e.Bytes)
+		} else {
+			l.bytesIn += uint64(e.Bytes)
+		}
+	case WirePacket:
+		l := n.link(e.Link)
+		l.wireBusy += e.Dur
+		if e.Ack {
+			l.acks++
+		} else {
+			l.dataBytes++
+		}
+	case AckStall:
+		n.link(e.Link).ackStall += e.Dur
+	}
+}
+
+// Finish closes all open accounting intervals at the given end time
+// (normally the simulation's final time).
+func (m *Metrics) Finish(end sim.Time) {
+	if end > m.end {
+		m.end = end
+	}
+	for _, n := range m.nodes {
+		if n.running {
+			n.busy += m.end - n.runningFrom
+			n.running = false
+		}
+		for p := range n.queues {
+			n.queues[p].set(n.queues[p].depth, m.end)
+		}
+	}
+}
+
+func pct(part, whole sim.Time) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Report writes the text report.
+func (m *Metrics) Report(w io.Writer) {
+	fmt.Fprintf(w, "probe metrics over %v\n", m.end)
+	names := append([]string(nil), m.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		n := m.nodes[name]
+		total := m.end
+		idle := total - n.busy
+		if idle < 0 {
+			idle = 0
+		}
+		fmt.Fprintf(w, "%s: busy %.1f%%  idle %.1f%%  switching %.2f%%\n",
+			name, pct(n.busy, total), pct(idle, total), pct(n.switching, total))
+		fmt.Fprintf(w, "  sched: %d dispatches, %d preemptions, %d timeslices; runq hi avg %.2f max %d, lo avg %.2f max %d\n",
+			n.dispatches, n.preempts, n.timeslices,
+			avgDepth(n.queues[0], total), n.queues[0].max,
+			avgDepth(n.queues[1], total), n.queues[1].max)
+		if n.rendezvous > 0 {
+			fmt.Fprintf(w, "  channels: %d internal rendezvous, %d bytes\n",
+				n.rendezvous, n.rendezvousBytes)
+		}
+		links := make([]int, 0, len(n.links))
+		for i := range n.links {
+			links = append(links, i)
+		}
+		sort.Ints(links)
+		for _, i := range links {
+			l := n.links[i]
+			fmt.Fprintf(w, "  link %d: %d B out / %d B in (%d transfers), wire busy %.1f%% (%d data, %d acks), ack-stall %v\n",
+				i, l.bytesOut, l.bytesIn, l.xfers,
+				pct(l.wireBusy, total), l.dataBytes, l.acks, l.ackStall)
+		}
+	}
+}
+
+func avgDepth(q queueMetrics, total sim.Time) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return q.weighted / float64(total)
+}
+
+// NodeBusy returns the accumulated busy time of a node (after Finish).
+func (m *Metrics) NodeBusy(name string) sim.Time {
+	if n, ok := m.nodes[name]; ok {
+		return n.busy
+	}
+	return 0
+}

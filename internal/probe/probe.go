@@ -1,0 +1,152 @@
+// Package probe is the system-wide observability bus: a structured
+// event stream that every layer of the simulator — scheduler, channels,
+// timers, link wires, host devices — publishes into, and that timeline
+// exporters, metrics aggregators and the sampling profiler consume.
+//
+// The bus is zero-overhead when detached: publishers hold a *Bus that
+// is nil until an observer attaches one, and every emit site is guarded
+// by a single nil check.  Events are stamped with both simulated time
+// and the publishing node's machine cycle counter, so instruction
+// traces, scheduler activity and wire occupancy can all be laid on one
+// timeline.
+package probe
+
+import "transputer/internal/sim"
+
+// Kind classifies a probe event.
+type Kind uint8
+
+const (
+	// ProcDispatch: a process began executing on the node's CPU.  Dur
+	// carries any scheduler switch charge paid for this dispatch (e.g.
+	// restoring interrupted low-priority state); Depth is the run-queue
+	// depth of the process's priority after dispatch.
+	ProcDispatch Kind = iota
+	// ProcStop: the executing process left the CPU (blocked, stopped,
+	// timesliced or preempted).
+	ProcStop
+	// ProcReady: a process joined a run queue.  Depth is the queue
+	// depth after the enqueue.
+	ProcReady
+	// Preempt: a low-priority process was preempted by a high-priority
+	// one; Dur is the state-save charge in simulated time.
+	Preempt
+	// Timeslice: the current low-priority process exhausted its slice
+	// and moved to the back of its queue.
+	Timeslice
+	// ChanBlock: a process arrived first at an internal channel
+	// rendezvous and descheduled.  Addr is the channel word; Out
+	// reports the direction.
+	ChanBlock
+	// ChanRendezvous: both parties met on an internal channel and the
+	// message was copied.  Addr is the channel word, Bytes the message
+	// length, Arg the partner's process descriptor.
+	ChanRendezvous
+	// TimerWait: a process blocked on a timer input; Arg is the wakeup
+	// clock value.
+	TimerWait
+	// TimerFire: a timer released a waiting process.
+	TimerFire
+	// EventPin: the external event pin was raised (the paper's
+	// interrupt mechanism).
+	EventPin
+	// LinkXferStart: a process handed a message to the link engine and
+	// descheduled.  Link is the link index, Bytes the length, Out the
+	// direction.
+	LinkXferStart
+	// LinkXferEnd: the link engine completed a transfer and the process
+	// was rescheduled.
+	LinkXferEnd
+	// WirePacket: a packet occupied a link signal line.  Link is the
+	// link index at the publishing node, Ack distinguishes acknowledge
+	// packets from data bytes, Dur is the wire occupancy.
+	WirePacket
+	// AckStall: a sender finished transmitting a byte and then waited
+	// Dur for its acknowledge — dead time figure 1's overlapped acks
+	// exist to eliminate.
+	AckStall
+	// HostCommand: a host device decoded a protocol command; Arg is the
+	// command word.
+	HostCommand
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	ProcDispatch:   "proc.dispatch",
+	ProcStop:       "proc.stop",
+	ProcReady:      "proc.ready",
+	Preempt:        "preempt",
+	Timeslice:      "timeslice",
+	ChanBlock:      "chan.block",
+	ChanRendezvous: "chan.rendezvous",
+	TimerWait:      "timer.wait",
+	TimerFire:      "timer.fire",
+	EventPin:       "event.pin",
+	LinkXferStart:  "link.xfer.start",
+	LinkXferEnd:    "link.xfer.end",
+	WirePacket:     "wire.packet",
+	AckStall:       "ack.stall",
+	HostCommand:    "host.command",
+}
+
+// String returns the event kind's dotted name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one observation.  Only the fields meaningful for the Kind
+// are set; the rest are zero.
+type Event struct {
+	// Time is the simulated instant of the event.
+	Time sim.Time
+	// Cycles is the publishing node's machine cycle counter.
+	Cycles uint64
+	// Node names the publishing transputer.
+	Node string
+	Kind Kind
+
+	// Proc is a process descriptor (workspace pointer | priority).
+	Proc uint64
+	// Pri is the priority concerned (0 high, 1 low).
+	Pri int
+	// Addr is a channel word address.
+	Addr uint64
+	// Link is a link index.
+	Link int
+	// Bytes is a message or packet payload length.
+	Bytes int
+	// Dur is a duration: wire occupancy, switch charge, stall time.
+	Dur sim.Time
+	// Depth is a run-queue depth after the transition.
+	Depth int
+	// Ack marks acknowledge packets.
+	Ack bool
+	// Out marks the output direction of a transfer.
+	Out bool
+	// Arg carries kind-specific extra data.
+	Arg int64
+}
+
+// Bus fans events out to its subscribers.  It is used from the single
+// simulation goroutine only.
+type Bus struct {
+	subs []func(Event)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a consumer.  Subscribers are invoked in
+// subscription order, synchronously with the publisher.
+func (b *Bus) Subscribe(fn func(Event)) { b.subs = append(b.subs, fn) }
+
+// Publish delivers an event to every subscriber.
+func (b *Bus) Publish(e Event) {
+	for _, fn := range b.subs {
+		fn(e)
+	}
+}

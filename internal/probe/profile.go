@@ -1,0 +1,251 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"transputer/internal/sim"
+)
+
+// Sampler is a sampling profiler: every Period of simulated time it
+// reads each target's instruction pointer and accumulates a histogram.
+// Sampling rides the same event kernel as the machines, so it is exact
+// in simulated time and adds nothing to the simulated cycle counts.
+type Sampler struct {
+	k       *sim.Kernel
+	Period  sim.Time
+	targets []*Target
+	started bool
+}
+
+// Target is one profiled machine: Sample returns the current
+// instruction pointer, or ok=false when no process is executing.
+type Target struct {
+	Name   string
+	Sample func() (addr uint64, ok bool)
+
+	// Counts maps sampled instruction addresses to hit counts.
+	Counts map[uint64]uint64
+	// Running and Idle count samples with and without an executing
+	// process.
+	Running, Idle uint64
+}
+
+// NewSampler builds a profiler on the kernel with the given period.
+func NewSampler(k *sim.Kernel, period sim.Time) *Sampler {
+	if period <= 0 {
+		period = 10 * sim.Microsecond
+	}
+	return &Sampler{k: k, Period: period}
+}
+
+// AddTarget registers a machine to sample.
+func (s *Sampler) AddTarget(name string, sample func() (uint64, bool)) *Target {
+	t := &Target{Name: name, Sample: sample, Counts: map[uint64]uint64{}}
+	s.targets = append(s.targets, t)
+	return t
+}
+
+// Targets returns the registered targets.
+func (s *Sampler) Targets() []*Target { return s.targets }
+
+// Start schedules the first sample one period from now.  The sampler
+// stops rescheduling itself once it is the only activity left in the
+// kernel, so runs still quiesce.
+func (s *Sampler) Start() {
+	if s.started || len(s.targets) == 0 {
+		return
+	}
+	s.started = true
+	s.k.After(s.Period, s.tick)
+}
+
+func (s *Sampler) tick() {
+	for _, t := range s.targets {
+		if addr, ok := t.Sample(); ok {
+			t.Counts[addr]++
+			t.Running++
+		} else {
+			t.Idle++
+		}
+	}
+	if s.k.Pending() == 0 {
+		return // everything else has quiesced; let the run end
+	}
+	s.k.After(s.Period, s.tick)
+}
+
+// Mark maps a code byte offset to a source line; marks are sorted by
+// offset and each covers [Offset, next.Offset).
+type Mark struct {
+	Offset int
+	Line   int
+}
+
+// ResolveOptions says how to attribute a target's sampled addresses.
+type ResolveOptions struct {
+	// CodeStart is the load address of the code image; CodeLen its
+	// length in bytes.
+	CodeStart uint64
+	CodeLen   int
+	// Marks is the compiler's debug info (may be empty).
+	Marks []Mark
+	// SourceLines holds the program source, for annotating the report.
+	SourceLines []string
+	// SourcePath names the source file in the report.
+	SourcePath string
+	// AddrLabel labels an address when no mark covers it (e.g. with a
+	// disassembled instruction); may be nil.
+	AddrLabel func(offset int) string
+}
+
+// Bucket is one row of a resolved profile.
+type Bucket struct {
+	// Where identifies the row: "file.occ:12" for a source line,
+	// otherwise a code offset label.
+	Where string `json:"where"`
+	// Line is the source line number, 0 when unattributed.
+	Line    int    `json:"line,omitempty"`
+	Samples uint64 `json:"samples"`
+	// Source is the source line text, when available.
+	Source string `json:"source,omitempty"`
+}
+
+// TargetProfile is the resolved histogram of one machine.
+type TargetProfile struct {
+	Name string `json:"name"`
+	// Total counts samples taken while a process was executing; Idle
+	// counts samples of an idle processor.
+	Total uint64 `json:"total"`
+	Idle  uint64 `json:"idle"`
+	// Attributed counts samples mapped to a source line.
+	Attributed uint64   `json:"attributed"`
+	Buckets    []Bucket `json:"buckets"`
+}
+
+// Profile is a saved profiling run.
+type Profile struct {
+	PeriodNs int64           `json:"period_ns"`
+	Targets  []TargetProfile `json:"targets"`
+}
+
+// Resolve attributes a target's samples to source lines (via marks) or
+// labelled addresses, producing one profile entry sorted by sample
+// count.
+func Resolve(t *Target, opt ResolveOptions) TargetProfile {
+	type key struct {
+		line int
+		off  int
+	}
+	rows := map[key]uint64{}
+	var attributed uint64
+	for addr, count := range t.Counts {
+		off := int(addr - opt.CodeStart)
+		if addr >= opt.CodeStart && off < opt.CodeLen {
+			if line := lineFor(opt.Marks, off); line > 0 {
+				rows[key{line: line}] += count
+				attributed += count
+				continue
+			}
+		}
+		rows[key{off: off, line: -1}] += count
+	}
+	tp := TargetProfile{Name: t.Name, Total: t.Running, Idle: t.Idle, Attributed: attributed}
+	for k, count := range rows {
+		b := Bucket{Samples: count}
+		if k.line > 0 {
+			b.Line = k.line
+			b.Where = fmt.Sprintf("%s:%d", sourceName(opt.SourcePath), k.line)
+			if k.line-1 < len(opt.SourceLines) {
+				b.Source = strings.TrimRight(opt.SourceLines[k.line-1], " \t")
+			}
+		} else {
+			b.Where = fmt.Sprintf("code+%#x", k.off)
+			if opt.AddrLabel != nil {
+				if lbl := opt.AddrLabel(k.off); lbl != "" {
+					b.Source = lbl
+				}
+			}
+		}
+		tp.Buckets = append(tp.Buckets, b)
+	}
+	sort.Slice(tp.Buckets, func(i, j int) bool {
+		if tp.Buckets[i].Samples != tp.Buckets[j].Samples {
+			return tp.Buckets[i].Samples > tp.Buckets[j].Samples
+		}
+		return tp.Buckets[i].Where < tp.Buckets[j].Where
+	})
+	return tp
+}
+
+func sourceName(path string) string {
+	if path == "" {
+		return "src"
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// lineFor returns the source line covering a code offset, or 0.
+func lineFor(marks []Mark, off int) int {
+	lo, hi := 0, len(marks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if marks[mid].Offset <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return marks[lo-1].Line
+}
+
+// WriteJSON serialises the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProfile parses a serialised profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return &p, nil
+}
+
+// Report renders the profile as text, top lines first.  top <= 0 means
+// every bucket.
+func (p *Profile) Report(w io.Writer, top int) {
+	fmt.Fprintf(w, "sampling profile, period %v\n", sim.Time(p.PeriodNs))
+	for _, t := range p.Targets {
+		all := t.Total + t.Idle
+		fmt.Fprintf(w, "%s: %d samples (%d running, %d idle", t.Name, all, t.Total, t.Idle)
+		if t.Total > 0 {
+			fmt.Fprintf(w, "; %.1f%% attributed to source lines", 100*float64(t.Attributed)/float64(t.Total))
+		}
+		fmt.Fprintln(w, ")")
+		var cum uint64
+		for i, b := range t.Buckets {
+			if top > 0 && i >= top {
+				fmt.Fprintf(w, "  ... %d more rows\n", len(t.Buckets)-i)
+				break
+			}
+			cum += b.Samples
+			fmt.Fprintf(w, "  %6.2f%% %6.2f%%  %8d  %-16s %s\n",
+				100*float64(b.Samples)/float64(t.Total),
+				100*float64(cum)/float64(t.Total),
+				b.Samples, b.Where, b.Source)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"transputer/internal/sim"
+)
+
+// Timeline records every bus event and exports them in the Chrome
+// trace-event JSON format, loadable in chrome://tracing or Perfetto.
+// Each node becomes a trace "process"; each transputer process gets its
+// own track, as do the node's links (wire occupancy, transfers and ack
+// stalls), the scheduler and the host protocol.
+type Timeline struct {
+	events []Event
+}
+
+// NewTimeline subscribes a fresh timeline recorder to the bus.
+func NewTimeline(b *Bus) *Timeline {
+	t := &Timeline{}
+	b.Subscribe(t.record)
+	return t
+}
+
+func (t *Timeline) record(e Event) { t.events = append(t.events, e) }
+
+// Events returns the recorded events in publication order.
+func (t *Timeline) Events() []Event { return t.events }
+
+// Track ids within a node's trace process.  Process tracks are assigned
+// ids from tidProcBase upward in order of first dispatch.
+const (
+	tidSched    = 1   // scheduler instants (preempt, timeslice, timer, event pin)
+	tidHost     = 2   // host protocol commands
+	tidWireBase = 10  // + link: wire occupancy and ack stalls
+	tidXferBase = 20  // + 2*link (+1 for input): processor-side transfers
+	tidProcBase = 100 // + per-process index
+)
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Cat  string                 `json:"cat,omitempty"`
+	S    string                 `json:"s,omitempty"` // instant scope
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace renders the recorded events.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	var out []chromeEvent
+
+	pids := map[string]int{}
+	pid := func(node string) int {
+		id, ok := pids[node]
+		if !ok {
+			id = len(pids) + 1
+			pids[node] = id
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: id,
+				Args: map[string]interface{}{"name": node},
+			})
+		}
+		return id
+	}
+	// Per-node process-track assignment and the currently open slice.
+	type nodeState struct {
+		procTid map[uint64]int
+		open    bool
+		openTid int
+		last    sim.Time
+	}
+	nodes := map[string]*nodeState{}
+	state := func(node string) *nodeState {
+		ns, ok := nodes[node]
+		if !ok {
+			ns = &nodeState{procTid: map[uint64]int{}}
+			nodes[node] = ns
+		}
+		return ns
+	}
+	procTid := func(node string, proc uint64) int {
+		ns := state(node)
+		tid, ok := ns.procTid[proc]
+		if !ok {
+			tid = tidProcBase + len(ns.procTid)
+			ns.procTid[proc] = tid
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid(node), Tid: tid,
+				Args: map[string]interface{}{
+					"name": fmt.Sprintf("P@%08X pri%d", proc&^1, proc&1),
+				},
+			})
+		}
+		return tid
+	}
+	closeSlice := func(node string, at sim.Time) {
+		ns := state(node)
+		if !ns.open {
+			return
+		}
+		ns.open = false
+		out = append(out, chromeEvent{
+			Name: "run", Ph: "E", Ts: usec(at), Pid: pid(node), Tid: ns.openTid, Cat: "sched",
+		})
+	}
+
+	var end sim.Time
+	for _, e := range t.events {
+		if e.Time > end {
+			end = e.Time
+		}
+		p := pid(e.Node)
+		ns := state(e.Node)
+		ns.last = e.Time
+		switch e.Kind {
+		case ProcDispatch:
+			// One CPU per node: a dispatch implicitly ends whatever was
+			// running (the stop event normally arrives first).
+			closeSlice(e.Node, e.Time)
+			tid := procTid(e.Node, e.Proc)
+			ns.open, ns.openTid = true, tid
+			out = append(out, chromeEvent{
+				Name: "run", Ph: "B", Ts: usec(e.Time), Pid: p, Tid: tid, Cat: "sched",
+				Args: map[string]interface{}{"cycles": e.Cycles, "runq": e.Depth},
+			})
+		case ProcStop:
+			closeSlice(e.Node, e.Time)
+		case ProcReady:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("runq.pri%d", e.Pri), Ph: "C", Ts: usec(e.Time), Pid: p, Tid: 0,
+				Args: map[string]interface{}{"depth": e.Depth},
+			})
+		case Preempt:
+			out = append(out, chromeEvent{
+				Name: "preempt", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "sched", S: "t",
+				Args: map[string]interface{}{"cycles": e.Cycles},
+			})
+		case Timeslice:
+			out = append(out, chromeEvent{
+				Name: "timeslice", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "sched", S: "t",
+			})
+		case ChanBlock:
+			out = append(out, chromeEvent{
+				Name: "chan.block", Ph: "i", Ts: usec(e.Time), Pid: p,
+				Tid: procTid(e.Node, e.Proc), Cat: "chan", S: "t",
+				Args: map[string]interface{}{"chan": hex(e.Addr), "out": e.Out},
+			})
+		case ChanRendezvous:
+			out = append(out, chromeEvent{
+				Name: "chan.rendezvous", Ph: "i", Ts: usec(e.Time), Pid: p,
+				Tid: procTid(e.Node, e.Proc), Cat: "chan", S: "t",
+				Args: map[string]interface{}{
+					"chan": hex(e.Addr), "bytes": e.Bytes, "partner": hex(uint64(e.Arg)),
+				},
+			})
+		case TimerWait:
+			out = append(out, chromeEvent{
+				Name: "timer.wait", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "timer", S: "t",
+				Args: map[string]interface{}{"proc": hex(e.Proc), "until": e.Arg},
+			})
+		case TimerFire:
+			out = append(out, chromeEvent{
+				Name: "timer.fire", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "timer", S: "t",
+				Args: map[string]interface{}{"proc": hex(e.Proc)},
+			})
+		case EventPin:
+			out = append(out, chromeEvent{
+				Name: "event.pin", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "event", S: "t",
+			})
+		case LinkXferStart:
+			out = append(out, chromeEvent{
+				Name: xferName(e.Out), Ph: "B", Ts: usec(e.Time), Pid: p,
+				Tid: xferTid(e.Link, e.Out), Cat: "link",
+				Args: map[string]interface{}{"bytes": e.Bytes, "proc": hex(e.Proc)},
+			})
+		case LinkXferEnd:
+			out = append(out, chromeEvent{
+				Name: xferName(e.Out), Ph: "E", Ts: usec(e.Time), Pid: p,
+				Tid: xferTid(e.Link, e.Out), Cat: "link",
+			})
+		case WirePacket:
+			name := "data"
+			if e.Ack {
+				name = "ack"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", Ts: usec(e.Time), Dur: usec(e.Dur),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "wire",
+			})
+		case AckStall:
+			out = append(out, chromeEvent{
+				Name: "ack.stall", Ph: "X", Ts: usec(e.Time - e.Dur), Dur: usec(e.Dur),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "wire",
+			})
+		case HostCommand:
+			out = append(out, chromeEvent{
+				Name: "host.cmd", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidHost, Cat: "host", S: "t",
+				Args: map[string]interface{}{"cmd": e.Arg},
+			})
+		}
+	}
+	// Close any slice still open at the end of the run.
+	var open []string
+	for node, ns := range nodes {
+		if ns.open {
+			open = append(open, node)
+		}
+	}
+	sort.Strings(open)
+	for _, node := range open {
+		closeSlice(node, end)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	})
+}
+
+func xferTid(link int, out bool) int {
+	tid := tidXferBase + 2*link
+	if !out {
+		tid++
+	}
+	return tid
+}
+
+func xferName(out bool) string {
+	if out {
+		return "link.out"
+	}
+	return "link.in"
+}
+
+func hex(v uint64) string { return fmt.Sprintf("%#x", v) }

@@ -1,0 +1,117 @@
+package tool
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/sim"
+)
+
+// Program records what was loaded on one node, for tools that need the
+// image (source maps) or the source path (profile reports) afterwards.
+type Program struct {
+	Node  *network.Node
+	Image core.Image
+	Path  string // resolved source/image path; empty for unloaded nodes
+}
+
+// Network is a system built from a topology, with its hosts and loaded
+// programs.
+type Network struct {
+	System   *network.System
+	Hosts    []*network.Host
+	Programs []Program
+	// Limit is the topology's run limit (defaulted to one second).
+	Limit sim.Time
+}
+
+// BuildNetwork constructs a system from a parsed topology.  Program
+// paths are resolved relative to baseDir; host output goes to out.
+func BuildNetwork(topo *network.Topology, baseDir string, out io.Writer) (*Network, error) {
+	s := network.NewSystem()
+	net := &Network{System: s}
+	for _, spec := range topo.Transputers {
+		cfg, err := ModelConfig(spec.Model, spec.MemBytes)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.AddTransputer(spec.Name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Program == "" {
+			continue
+		}
+		path := filepath.Join(baseDir, spec.Program)
+		img, err := LoadAny(path, cfg.WordBits/8)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		if err := n.Load(img); err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		net.Programs = append(net.Programs, Program{Node: n, Image: img, Path: path})
+	}
+	for _, c := range topo.Connections {
+		a, ok := s.Node(c.A)
+		if !ok {
+			return nil, fmt.Errorf("connect: unknown transputer %q", c.A)
+		}
+		b, ok := s.Node(c.B)
+		if !ok {
+			return nil, fmt.Errorf("connect: unknown transputer %q", c.B)
+		}
+		if err := s.Connect(a, c.ALink, b, c.BLink); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range topo.Hosts {
+		n, ok := s.Node(h.Node)
+		if !ok {
+			return nil, fmt.Errorf("host: unknown transputer %q", h.Node)
+		}
+		host, err := s.AttachHost(n, h.Link, out)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range topo.Inputs[h.Node] {
+			host.QueueInput(v)
+		}
+		net.Hosts = append(net.Hosts, host)
+	}
+	net.Limit = topo.RunLimit
+	if net.Limit == 0 {
+		net.Limit = sim.Second
+	}
+	return net, nil
+}
+
+// PrintLinkStats writes the traffic counters of each connected link's
+// outgoing wire: data bytes, acknowledges and occupancy.
+func PrintLinkStats(w io.Writer, n *network.Node) {
+	for i := 0; i < core.NumLinks; i++ {
+		if !n.Engine.Connected(i) {
+			continue
+		}
+		ws := n.Engine.WireStats(i)
+		fmt.Fprintf(w, "  link %d out-wire: %d data bytes, %d acks, busy %v\n",
+			i, ws.DataBytes, ws.Acks, sim.Time(ws.BusyNs))
+	}
+}
+
+// LoadNetworkFile parses a topology file and builds its system.
+func LoadNetworkFile(path string, out io.Writer) (*Network, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := network.ParseTopology(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return BuildNetwork(topo, filepath.Dir(path), out)
+}

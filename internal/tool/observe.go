@@ -1,0 +1,196 @@
+package tool
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"transputer/internal/core"
+	"transputer/internal/isa"
+	"transputer/internal/network"
+	"transputer/internal/probe"
+	"transputer/internal/sim"
+)
+
+// Observer bundles the probe-bus consumers behind the CLI flags: a
+// timeline recorder (-timeline), a metrics aggregator (-metrics) and a
+// sampling profiler (-prof).  Nothing is attached to the system until
+// Start, so a run with no observer flags keeps the no-subscriber fast
+// path (a nil bus) in every machine.
+type Observer struct {
+	sys *network.System
+	bus *probe.Bus
+
+	timeline     *probe.Timeline
+	timelinePath string
+
+	metrics *probe.Metrics
+
+	sampler     *probe.Sampler
+	profilePath string
+	targets     []profTarget
+}
+
+type profTarget struct {
+	t   *probe.Target
+	opt probe.ResolveOptions
+}
+
+// NewObserver returns an inactive observer for the system.
+func NewObserver(s *network.System) *Observer {
+	return &Observer{sys: s}
+}
+
+func (o *Observer) ensureBus() *probe.Bus {
+	if o.bus == nil {
+		o.bus = probe.NewBus()
+	}
+	return o.bus
+}
+
+// EnableTimeline records every probe event for a Chrome trace written
+// to path by Finish.
+func (o *Observer) EnableTimeline(path string) {
+	o.timelinePath = path
+	o.timeline = probe.NewTimeline(o.ensureBus())
+}
+
+// EnableMetrics aggregates per-node and per-link metrics, reported by
+// Finish.
+func (o *Observer) EnableMetrics() {
+	o.metrics = probe.NewMetrics(o.ensureBus())
+}
+
+// EnableProfile samples every registered target's instruction pointer
+// each period, saving the resolved profile to path at Finish.  Targets
+// are registered with AddProfileTarget.
+func (o *Observer) EnableProfile(path string, period sim.Time) {
+	o.profilePath = path
+	o.sampler = probe.NewSampler(o.sys.Kernel, period)
+}
+
+// AddProfileTarget registers a node for sampling.  The image supplies
+// the source map; srcPath (may be empty, or name a file that no longer
+// exists) supplies source text for the report.  No-op unless
+// EnableProfile was called.
+func (o *Observer) AddProfileTarget(n *network.Node, img core.Image, srcPath string) {
+	if o.sampler == nil {
+		return
+	}
+	m := n.M
+	t := o.sampler.AddTarget(n.Name, func() (uint64, bool) {
+		if m.Idle() {
+			return 0, false
+		}
+		return m.Iptr, true
+	})
+	opt := probe.ResolveOptions{
+		CodeStart:  m.CodeStart(),
+		CodeLen:    len(img.Code),
+		SourcePath: srcPath,
+		AddrLabel:  addrLabel(img.Code),
+	}
+	for _, mk := range img.Marks {
+		opt.Marks = append(opt.Marks, probe.Mark{Offset: mk.Offset, Line: mk.Line})
+	}
+	if srcPath != "" {
+		if src, err := os.ReadFile(srcPath); err == nil {
+			opt.SourceLines = strings.Split(string(src), "\n")
+		}
+	}
+	o.targets = append(o.targets, profTarget{t: t, opt: opt})
+}
+
+// Active reports whether any consumer has been enabled.
+func (o *Observer) Active() bool { return o.bus != nil || o.sampler != nil }
+
+// Start attaches the bus to the system (if any bus consumer is
+// enabled) and arms the sampler.  Call after the system is fully built
+// and before Run.
+func (o *Observer) Start() {
+	if o.bus != nil {
+		o.sys.AttachProbe(o.bus)
+	}
+	if o.sampler != nil {
+		o.sampler.Start()
+	}
+}
+
+// Finish closes the accounting at the run's end time, writes the
+// timeline and profile files, and prints the metrics report and a
+// profile summary to w.
+func (o *Observer) Finish(end sim.Time, w io.Writer) error {
+	if o.timeline != nil {
+		f, err := os.Create(o.timelinePath)
+		if err != nil {
+			return err
+		}
+		if err := o.timeline.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "timeline: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(o.timeline.Events()), o.timelinePath)
+	}
+	if o.metrics != nil {
+		o.metrics.Finish(end)
+		o.metrics.Report(w)
+	}
+	if o.sampler != nil {
+		p := o.ResolveProfile()
+		f, err := os.Create(o.profilePath)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "profile written to %s (render with tprof)\n", o.profilePath)
+		p.Report(w, 10)
+	}
+	return nil
+}
+
+// ResolveProfile attributes all targets' samples without writing files.
+func (o *Observer) ResolveProfile() *probe.Profile {
+	p := &probe.Profile{PeriodNs: int64(o.sampler.Period)}
+	for _, pt := range o.targets {
+		p.Targets = append(p.Targets, probe.Resolve(pt.t, pt.opt))
+	}
+	return p
+}
+
+// addrLabel returns a labeller that disassembles the instruction at a
+// code offset, the profiler's fallback when no source mark covers it.
+func addrLabel(code []byte) func(off int) string {
+	return func(off int) string {
+		if off < 0 || off >= len(code) {
+			return ""
+		}
+		var oreg int64
+		for i := off; i < len(code); i++ {
+			b := code[i]
+			fn := isa.Function(b >> 4)
+			data := int64(b & 0xF)
+			switch fn {
+			case isa.FnPfix:
+				oreg = (oreg | data) << 4
+			case isa.FnNfix:
+				oreg = ^(oreg | data) << 4
+			case isa.FnOpr:
+				return isa.Op(oreg | data).Name()
+			default:
+				return fmt.Sprintf("%s %d", fn.Name(), oreg|data)
+			}
+		}
+		return ""
+	}
+}

@@ -179,3 +179,56 @@ func TestRingTopologyEndToEnd(t *testing.T) {
 		t.Errorf("ring took %v, expected well under the 50ms limit", rep.Time)
 	}
 }
+
+// TestImageSourceMapRoundTrip: images carrying a source map encode as
+// TIX2 and survive the trip; mark-free images stay TIX1.
+func TestImageSourceMapRoundTrip(t *testing.T) {
+	img := core.Image{
+		Code:    []byte{0x40, 0xD1, 0x21, 0xF5},
+		WsBelow: 8, WsAbove: 8,
+		Marks: []core.SourceMark{{Offset: 0, Line: 3}, {Offset: 2, Line: 5}},
+	}
+	data := EncodeImage(img)
+	if string(data[:4]) != "TIX2" {
+		t.Errorf("magic = %q, want TIX2", data[:4])
+	}
+	got, err := DecodeImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Marks) != 2 || got.Marks[1] != (core.SourceMark{Offset: 2, Line: 5}) {
+		t.Errorf("marks = %+v", got.Marks)
+	}
+	plain := EncodeImage(core.Image{Code: []byte{0x40}})
+	if string(plain[:4]) != "TIX1" {
+		t.Errorf("mark-free magic = %q, want TIX1", plain[:4])
+	}
+	if _, err := DecodeImage(data[:len(data)-2]); err == nil {
+		t.Error("truncated source map should fail")
+	}
+}
+
+// TestCompiledSourceMap: the occam compiler emits marks covering its
+// code, offset-sorted.
+func TestCompiledSourceMap(t *testing.T) {
+	img, err := TranslateProgram("CHAN c:\nPLACE c AT LINK0OUT:\nSEQ i = [1 FOR 3]\n  c ! i\n", ".occ", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Marks) == 0 {
+		t.Fatal("occam compile produced no source marks")
+	}
+	for i := 1; i < len(img.Marks); i++ {
+		if img.Marks[i].Offset < img.Marks[i-1].Offset {
+			t.Fatalf("marks not sorted: %+v", img.Marks)
+		}
+	}
+	for _, mk := range img.Marks {
+		if mk.Line < 1 || mk.Line > 4 {
+			t.Errorf("mark line %d outside the 4-line program", mk.Line)
+		}
+		if mk.Offset < 0 || mk.Offset > len(img.Code) {
+			t.Errorf("mark offset %d outside code", mk.Offset)
+		}
+	}
+}
