@@ -5,14 +5,19 @@
 // Usage:
 //
 //	tnet [-stats] [-timeline out.json] [-metrics] [-prof out.prof]
-//	     [-profperiod us] network.tnet
+//	     [-profperiod us] [-seed n] network.tnet
+//
+// -seed overrides the topology file's seed directive, so one fault
+// campaign file can be replayed under many seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"transputer/internal/network"
 	"transputer/internal/sim"
 	"transputer/internal/tool"
 )
@@ -23,12 +28,26 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print probe metrics (utilization, run queues, links)")
 	prof := flag.String("prof", "", "sample every node's instruction pointer and write a profile to this file")
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
+	seed := flag.Uint64("seed", 0, "override the topology's fault-plan seed")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tnet [flags] network.tnet")
 		os.Exit(2)
 	}
-	net, err := tool.LoadNetworkFile(flag.Arg(0), os.Stdout)
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := network.ParseTopology(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+	if seedSet {
+		topo.Seed = *seed
+	}
+	net, err := tool.BuildNetwork(topo, filepath.Dir(flag.Arg(0)), os.Stdout)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,10 +77,10 @@ func main() {
 		n, _ := s.Node(name)
 		fmt.Fprintf(os.Stderr, "tnet: %s halted: %v\n", name, n.M.Fault())
 	}
-	for _, name := range rep.Blocked {
-		n, _ := s.Node(name)
-		fmt.Fprintf(os.Stderr, "tnet: %s deadlocked: %d process(es) blocked on channels\n",
-			name, n.M.WaitingProcesses())
+	if rep.Settled {
+		if wd := s.Watchdog(); wd != nil {
+			tool.PrintWatchdog(os.Stderr, wd, tool.LineResolver(net.Programs))
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "simulated time: %v\n", rep.Time)

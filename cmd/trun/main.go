@@ -100,9 +100,11 @@ func main() {
 	if !rep.Settled {
 		fmt.Fprintf(os.Stderr, "trun: time limit reached at %v\n", rep.Time)
 	}
-	if len(rep.Blocked) > 0 {
-		fmt.Fprintf(os.Stderr, "trun: deadlock: %d process(es) blocked on channels\n",
-			n.M.WaitingProcesses())
+	if rep.Settled {
+		if wd := s.Watchdog(); wd != nil {
+			progs := []tool.Program{{Node: n, Image: img, Path: flag.Arg(0)}}
+			tool.PrintWatchdog(os.Stderr, wd, tool.LineResolver(progs))
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "simulated time: %v (host exit: %v)\n", rep.Time, host.Done)

@@ -74,7 +74,7 @@ func (m *Machine) altWait() int {
 		return isa.AltwtCycles(true)
 	}
 	m.setWordIndex(w, wsState, m.altWaiting())
-	m.blockOnComm()
+	m.blockOnComm(BlockAlt, 0, -1)
 	return isa.AltwtCycles(false)
 }
 

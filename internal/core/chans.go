@@ -41,7 +41,7 @@ func (m *Machine) outputMessage() int {
 			m.fault("output on input link channel", chAddr)
 			return 1
 		}
-		return m.externalTransfer(link, ptr, count, true)
+		return m.externalTransfer(link, chAddr, ptr, count, true)
 	}
 
 	chWord := m.word(chAddr)
@@ -53,7 +53,7 @@ func (m *Machine) outputMessage() int {
 		if m.bus != nil {
 			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
 		}
-		m.blockOnComm()
+		m.blockOnComm(BlockChanOut, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
 	}
 
@@ -69,7 +69,7 @@ func (m *Machine) outputMessage() int {
 		if m.bus != nil {
 			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
 		}
-		m.blockOnComm()
+		m.blockOnComm(BlockChanOut, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
 	case m.altWaiting():
 		// The inputter is descheduled inside alt wait: wake it.
@@ -80,7 +80,7 @@ func (m *Machine) outputMessage() int {
 		if m.bus != nil {
 			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
 		}
-		m.blockOnComm()
+		m.blockOnComm(BlockChanOut, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
 	}
 
@@ -111,7 +111,7 @@ func (m *Machine) inputMessage() int {
 			m.fault("input on output link channel", chAddr)
 			return 1
 		}
-		return m.externalTransfer(link, ptr, count, false)
+		return m.externalTransfer(link, chAddr, ptr, count, false)
 	}
 
 	chWord := m.word(chAddr)
@@ -122,7 +122,7 @@ func (m *Machine) inputMessage() int {
 		if m.bus != nil {
 			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr})
 		}
-		m.blockOnComm()
+		m.blockOnComm(BlockChanIn, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
 	}
 
@@ -158,7 +158,7 @@ func (m *Machine) completeTransfer(partner uint64, count int) int {
 // externalTransfer hands a message over to the link engine and
 // deschedules the process; the engine reschedules it when the last
 // byte is acknowledged.
-func (m *Machine) externalTransfer(link int, ptr uint64, count int, output bool) int {
+func (m *Machine) externalTransfer(link int, chAddr, ptr uint64, count int, output bool) int {
 	if m.ext == nil {
 		m.fault("no link engine attached", uint64(link))
 		return 1
@@ -175,7 +175,11 @@ func (m *Machine) externalTransfer(link int, ptr uint64, count int, output bool)
 		m.emit(probe.Event{Kind: probe.LinkXferStart, Proc: wdesc, Link: link,
 			Bytes: count, Out: output})
 	}
-	m.blockOnComm()
+	kind := BlockLinkIn
+	if output {
+		kind = BlockLinkOut
+	}
+	m.blockOnComm(kind, chAddr, link)
 	if output {
 		m.stats.ExternalOut++
 		m.stats.BytesOut += uint64(count)

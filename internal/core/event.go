@@ -42,7 +42,7 @@ func (m *Machine) eventInput() int {
 		return 24
 	}
 	m.eventWaiter = m.Wdesc
-	m.blockOnComm()
+	m.blockOnComm(BlockEvent, 0, -1)
 	return 24
 }
 

@@ -86,8 +86,13 @@ type Machine struct {
 	eventArmed   func()
 
 	// waiting counts processes blocked on channels, timers, events or
-	// stop, for deadlock diagnostics.
+	// stop, for deadlock diagnostics; blocked records what each one is
+	// waiting for, keyed by process descriptor.
 	waiting int
+	blocked map[uint64]BlockedProcess
+
+	// forcedHalt records the reason a fault campaign stopped the node.
+	forcedHalt string
 
 	// bus, when non-nil, receives structured probe events from the
 	// scheduler, channels and timers.  Every emit site nil-checks it,
@@ -188,6 +193,8 @@ func (m *Machine) resetSchedState() {
 	m.eventWaiter = np
 	m.eventArmed = nil
 	m.waiting = 0
+	m.blocked = make(map[uint64]BlockedProcess)
+	m.forcedHalt = ""
 	m.qlen[0], m.qlen[1] = 0, 0
 }
 
@@ -238,12 +245,29 @@ func (m *Machine) Halted() bool { return m.halted }
 // ErrorFlag reports the state of the error flag.
 func (m *Machine) ErrorFlag() bool { return m.errorFlag }
 
-// Fault returns the first memory fault, if any.
+// Fault returns the first memory fault or forced halt, if any.
 func (m *Machine) Fault() error {
-	if m.faulted == nil {
-		return nil
+	if m.faulted != nil {
+		return m.faulted
 	}
-	return m.faulted
+	if m.forcedHalt != "" {
+		return fmt.Errorf("core: halted: %s", m.forcedHalt)
+	}
+	return nil
+}
+
+// ForceHalt stops the machine from outside the simulation — the fault
+// subsystem's node-halt campaign.  The processor executes nothing
+// further; the reason is reported by Fault.
+func (m *Machine) ForceHalt(reason string) {
+	if m.halted {
+		return
+	}
+	m.halted = true
+	m.forcedHalt = reason
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.NodeHalt})
+	}
 }
 
 // Idle reports whether no process is executing.  An idle machine may

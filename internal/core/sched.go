@@ -215,9 +215,15 @@ func (m *Machine) blockCurrent() {
 }
 
 // blockOnComm blocks the current process pending a channel, timer or
-// event completion.
-func (m *Machine) blockOnComm() {
+// event completion, recording what it waits for so the deadlock
+// watchdog can name it.  addr is the channel word (or wakeup clock for
+// timers); link is the link index for external transfers, else -1.
+func (m *Machine) blockOnComm(kind BlockKind, addr uint64, link int) {
 	m.waiting++
+	m.blocked[m.Wdesc] = BlockedProcess{
+		Wdesc: m.Wdesc, Iptr: m.Iptr, Kind: kind, Addr: addr,
+		Link: link, Since: m.now(),
+	}
 	m.blockCurrent()
 }
 
@@ -226,6 +232,7 @@ func (m *Machine) wake(wdesc uint64) {
 	if m.waiting > 0 {
 		m.waiting--
 	}
+	delete(m.blocked, wdesc)
 	m.schedule(wdesc)
 }
 

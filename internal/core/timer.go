@@ -61,7 +61,7 @@ func (m *Machine) timerInput() int {
 	if m.bus != nil {
 		m.emit(probe.Event{Kind: probe.TimerWait, Proc: m.Wdesc, Pri: pri, Arg: int64(t)})
 	}
-	m.blockOnComm()
+	m.blockOnComm(BlockTimer, t, -1)
 	m.armTimer()
 	return isa.TinCycles(false)
 }
@@ -221,12 +221,12 @@ func (m *Machine) timerAltWait() int {
 		if m.bus != nil {
 			m.emit(probe.Event{Kind: probe.TimerWait, Proc: m.Wdesc, Pri: pri, Arg: int64(t)})
 		}
-		m.blockOnComm()
+		m.blockOnComm(BlockAlt, t, -1)
 		m.armTimer()
 		return isa.AltwtCycles(false)
 	}
 	m.setWordIndex(w, wsState, m.altWaiting())
-	m.blockOnComm()
+	m.blockOnComm(BlockAlt, 0, -1)
 	return isa.AltwtCycles(false)
 }
 

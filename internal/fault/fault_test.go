@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"testing"
+
+	"transputer/internal/sim"
+)
+
+func TestParseKind(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("meltdown"); err == nil {
+		t.Error("ParseKind accepted unknown kind")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	bad := []Rule{
+		{Kind: Drop, Rate: -0.1},
+		{Kind: Corrupt, Rate: 1.5},
+		{Kind: Jitter, Rate: 0.5, Max: 0},
+		{Kind: Sever, At: 0},
+		{Kind: Halt, At: -1},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %+v validated", r)
+		}
+	}
+	good := []Rule{
+		{Kind: Drop, Rate: 0.5},
+		{Kind: Jitter, Rate: 1, Max: sim.Microsecond},
+		{Kind: Sever, At: sim.Millisecond},
+	}
+	for _, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("rule %+v rejected: %v", r, err)
+		}
+	}
+}
+
+// TestHookDeterminism: the same plan yields bit-identical fault
+// decisions across injectors, and different seeds yield different ones.
+func TestHookDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: []Rule{
+		{Kind: Drop, Node: "n0", Link: 1, Rate: 0.3},
+		{Kind: Corrupt, Node: "n0", Link: 1, Rate: 0.2},
+	}}
+	run := func(seed uint64) []FaultSample {
+		inj, err := NewInjector(Plan{Seed: seed, Rules: plan.Rules})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hook := inj.WireHook("n0", 1)
+		if hook == nil {
+			t.Fatal("no hook for targeted end")
+		}
+		var out []FaultSample
+		for i := 0; i < 500; i++ {
+			a := hook(i%7 == 0)
+			out = append(out, FaultSample{a.Drop, a.Corrupt, a.Delay})
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+type FaultSample struct {
+	drop    bool
+	corrupt byte
+	delay   sim.Time
+}
+
+// TestHookRates: observed fault frequencies track the configured rates.
+func TestHookRates(t *testing.T) {
+	inj, _ := NewInjector(Plan{Seed: 7, Rules: []Rule{
+		{Kind: Drop, Node: "n", Link: 0, Pkt: DataPacket, Rate: 0.25},
+		{Kind: Jitter, Node: "n", Link: 0, Rate: 0.5, Max: 100},
+	}})
+	hook := inj.WireHook("n", 0)
+	const trials = 20000
+	drops, delays := 0, 0
+	for i := 0; i < trials; i++ {
+		a := hook(false)
+		if a.Drop {
+			drops++
+		}
+		if a.Delay > 0 {
+			delays++
+			if a.Delay > 100 {
+				t.Fatalf("jitter %v exceeds max", a.Delay)
+			}
+		}
+	}
+	if f := float64(drops) / trials; f < 0.22 || f > 0.28 {
+		t.Errorf("drop rate %.3f, want ~0.25", f)
+	}
+	if f := float64(delays) / trials; f < 0.46 || f > 0.54 {
+		t.Errorf("jitter rate %.3f, want ~0.5", f)
+	}
+	// The data-only drop rule must leave control packets alone.
+	ctlDrops := 0
+	for i := 0; i < trials; i++ {
+		if hook(true).Drop {
+			ctlDrops++
+		}
+	}
+	if ctlDrops != 0 {
+		t.Errorf("data-only rule dropped %d control packets", ctlDrops)
+	}
+}
+
+// TestHookTargeting: hooks exist only for targeted ends, and timed rules
+// are excluded from the per-packet path.
+func TestHookTargeting(t *testing.T) {
+	inj, _ := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Kind: Drop, Node: "n0", Link: 2, Rate: 1},
+		{Kind: Sever, Node: "n1", Link: 0, At: sim.Millisecond},
+		{Kind: Halt, Node: "n2", Link: -1, At: sim.Millisecond},
+	}})
+	if inj.WireHook("n0", 2) == nil {
+		t.Error("missing hook for n0.2")
+	}
+	if inj.WireHook("n0", 1) != nil || inj.WireHook("n1", 0) != nil {
+		t.Error("hook built for untargeted or timed-only end")
+	}
+	timed := inj.Timed()
+	if len(timed) != 2 || timed[0].Kind != Sever || timed[1].Kind != Halt {
+		t.Errorf("Timed() = %+v", timed)
+	}
+}

@@ -36,6 +36,35 @@ func ConnectHost(e *Engine, l int, h *HostEnd) {
 // and stop-and-wait acknowledges (see Engine.SetStopAndWait).
 func (h *HostEnd) SetStopAndWait(v bool) { h.in.stopAndWait = v }
 
+// SetReliable switches the host end into or out of error-detecting
+// mode (see Engine.SetReliable); both ends of the wire must agree.
+func (h *HostEnd) SetReliable(on bool, timeout sim.Time, maxRetries int) {
+	if timeout <= 0 {
+		timeout = DefaultRelTimeout
+	}
+	if maxRetries <= 0 {
+		maxRetries = DefaultRelRetries
+	}
+	h.out.rel.on = on
+	h.out.rel.timeout = timeout
+	h.out.rel.maxRetries = maxRetries
+	h.in.rel.on = on
+}
+
+// RecvProgress reports the state of an in-flight Recv: how many bytes
+// have arrived of how many expected.  A host end left mid-message when
+// the system settles has hit an EOF-like stall (severed link, halted
+// peer, or a peer that stopped mid-protocol).
+func (h *HostEnd) RecvProgress() (got, want int, active bool) {
+	return h.in.received, h.in.count, h.in.active
+}
+
+// SendProgress reports the state of an in-flight Send: how many bytes
+// have been acknowledged of how many queued.
+func (h *HostEnd) SendProgress() (sent, want int, active bool) {
+	return h.out.sent, h.out.count, h.out.active
+}
+
 // ConnectHosts wires two host ends back to back; used to test the
 // protocol machinery in isolation.
 func ConnectHosts(a, b *HostEnd) {

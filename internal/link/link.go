@@ -35,20 +35,70 @@ const (
 	AckBits = 2
 )
 
+// Error-detecting mode packet lengths (see reliable.go).  The mode is
+// opt-in; the paper-faithful frames above remain the default.
+const (
+	// RelDataBits is an error-detecting data packet: the 11-bit frame
+	// plus a sequence bit and an 8-bit CRC trailer.
+	RelDataBits = DataBits + 1 + 8
+	// RelAckBits is an error-detecting acknowledge: the 2-bit frame plus
+	// the sequence bit being acknowledged.
+	RelAckBits = AckBits + 1
+	// NakBits is a negative acknowledge: start bit, zero bit, one bit —
+	// only distinguishable from an acknowledge in error-detecting mode.
+	NakBits = 3
+)
+
 // WireStats counts traffic on one signal line.
 type WireStats struct {
 	DataBytes uint64
 	Acks      uint64
+	Naks      uint64
 	BusyNs    int64
 }
 
-// packet is one frame queued on a wire.
+// packetKind distinguishes the frames multiplexed down a signal line.
+type packetKind uint8
+
+const (
+	pktData packetKind = iota
+	pktAck
+	pktNak
+)
+
+// packet is one frame queued on a wire.  Sender-side callbacks
+// (onTxEnd) always fire — transmitting hardware cannot tell its bits
+// were lost — while receiver-side callbacks (deliverStart, deliver) are
+// skipped when a fault drops the packet or the wire is severed.
 type packet struct {
+	kind    packetKind
 	bits    int
-	isAck   bool
-	onStart func()
-	onEnd   func()
+	payload byte // data byte (pktData)
+	seq     byte // sequence bit (error-detecting mode)
+	crc     byte // check trailer (error-detecting mode)
+
+	onTxEnd      func()
+	deliverStart func()
+	deliver      func(p packet)
 }
+
+// FaultAction describes what an injected fault does to one packet.
+// The zero value leaves the packet untouched.
+type FaultAction struct {
+	// Drop loses the packet in transit: the sender still clocks the bits
+	// out, but the receiver never sees them.
+	Drop bool
+	// Corrupt is an XOR mask applied to a data packet's payload.
+	Corrupt byte
+	// Delay holds the wire for extra time before the bits go out.
+	Delay sim.Time
+}
+
+// FaultHook is consulted once per packet as it starts transmission on a
+// wire; isCtl reports a control packet (acknowledge or NAK) rather than
+// a data byte.  Hooks are installed by the fault-injection subsystem
+// and must be deterministic for a given call sequence.
+type FaultHook func(isCtl bool) FaultAction
 
 // wire is a one-directional signal line: a serializer with priority for
 // acknowledges (so a long data stream in one direction cannot starve
@@ -57,9 +107,15 @@ type wire struct {
 	k     *sim.Kernel
 	bitNs int64
 	busy  bool
-	acks  []packet // pending acknowledges (sent first)
+	acks  []packet // pending acknowledges and naks (sent first)
 	data  []packet // pending data bytes
 	stats WireStats
+
+	// hook, when non-nil, injects faults into this wire's traffic.
+	hook FaultHook
+	// severed marks a cut wire: nothing queued or in flight is ever
+	// delivered after the cut.
+	severed bool
 
 	// owner and link attribute this wire's traffic to the engine whose
 	// outgoing signal line it is, for probe events.  Wires driven by a
@@ -69,13 +125,22 @@ type wire struct {
 }
 
 func (w *wire) send(p packet) {
-	if p.isAck {
+	if p.kind != pktData {
 		w.acks = append(w.acks, p)
 	} else {
 		w.data = append(w.data, p)
 	}
 	if !w.busy {
 		w.transmitNext()
+	}
+}
+
+// emit publishes a probe event attributed to this wire's owning engine,
+// if any.
+func (w *wire) emit(ev probe.Event) {
+	if w.owner != nil && w.owner.bus != nil {
+		ev.Link = w.link
+		w.owner.emit(ev)
 	}
 }
 
@@ -93,23 +158,44 @@ func (w *wire) transmitNext() {
 		return
 	}
 	w.busy = true
-	dur := int64(p.bits) * w.bitNs
+	isCtl := p.kind != pktData
+	var act FaultAction
+	if w.hook != nil {
+		act = w.hook(isCtl)
+	}
+	dur := int64(p.bits)*w.bitNs + int64(act.Delay)
 	w.stats.BusyNs += dur
-	if p.isAck {
+	switch p.kind {
+	case pktAck:
 		w.stats.Acks++
-	} else {
+	case pktNak:
+		w.stats.Naks++
+	default:
 		w.stats.DataBytes++
 	}
-	if w.owner != nil && w.owner.bus != nil {
-		w.owner.emit(probe.Event{Kind: probe.WirePacket, Link: w.link,
-			Ack: p.isAck, Bytes: boolByte(!p.isAck), Dur: sim.Time(dur)})
+	w.emit(probe.Event{Kind: probe.WirePacket,
+		Ack: isCtl, Bytes: boolByte(!isCtl), Dur: sim.Time(dur)})
+	if act.Delay > 0 {
+		w.emit(probe.Event{Kind: probe.FaultDelay, Ack: isCtl, Dur: act.Delay})
 	}
-	if p.onStart != nil {
-		p.onStart()
+	if act.Corrupt != 0 && p.kind == pktData {
+		p.payload ^= act.Corrupt
+		w.emit(probe.Event{Kind: probe.FaultCorrupt, Arg: int64(act.Corrupt)})
+	}
+	dropped := act.Drop || w.severed
+	if act.Drop && !w.severed {
+		w.emit(probe.Event{Kind: probe.FaultDrop, Ack: isCtl})
+	}
+	if !dropped && p.deliverStart != nil {
+		p.deliverStart()
 	}
 	w.k.After(sim.Time(dur), func() {
-		if p.onEnd != nil {
-			p.onEnd()
+		// A packet in flight when the wire is cut is lost too.
+		if !dropped && !w.severed && p.deliver != nil {
+			p.deliver(p)
+		}
+		if p.onTxEnd != nil {
+			p.onTxEnd()
 		}
 		w.transmitNext()
 	})
@@ -136,6 +222,9 @@ type outHalf struct {
 	// txEndAt records when the current byte finished transmitting, for
 	// measuring the wait for its acknowledge.
 	txEndAt sim.Time
+
+	// rel is the error-detecting-mode sender state (see reliable.go).
+	rel relSender
 }
 
 // inHalf is the receiving side of one channel of a link.
@@ -162,6 +251,13 @@ type inHalf struct {
 	// ablation benchmarks to quantify what figure 1's early
 	// acknowledge buys.
 	stopAndWait bool
+
+	// eng and link attribute NAK probe events; nil for host ends.
+	eng  *Engine
+	link int
+
+	// rel is the error-detecting-mode receiver state (see reliable.go).
+	rel relReceiver
 }
 
 // Engine implements core.External for one machine: four link output
@@ -182,7 +278,7 @@ func NewEngine(k *sim.Kernel, m *core.Machine) *Engine {
 	e := &Engine{k: k, m: m}
 	for i := range e.outs {
 		e.outs[i] = &outHalf{eng: e, link: i}
-		e.ins[i] = &inHalf{}
+		e.ins[i] = &inHalf{eng: e, link: i}
 	}
 	return e
 }
@@ -256,8 +352,8 @@ func (o *outHalf) start(read func(i int) byte, count int, done func()) {
 	o.count = count
 	o.sent = 0
 	o.done = done
-	if o.wire == nil {
-		return // unconnected: waits forever
+	if o.wire == nil || o.rel.failed {
+		return // unconnected or failed link: waits forever
 	}
 	o.sendByte()
 }
@@ -266,14 +362,18 @@ func (o *outHalf) sendByte() {
 	b := o.read(o.sent)
 	o.txEnded = false
 	o.acked = false
+	if o.rel.on {
+		o.sendReliable(b)
+		return
+	}
 	in := o.peer
 	o.wire.send(packet{
-		bits:    DataBits,
-		onStart: func() { in.dataStart() },
-		onEnd: func() {
-			in.dataArrive(b)
-			o.txEnd()
-		},
+		kind:         pktData,
+		bits:         DataBits,
+		payload:      b,
+		deliverStart: func() { in.dataStart() },
+		deliver:      func(p packet) { in.dataArrive(p.payload) },
+		onTxEnd:      func() { o.txEnd() },
 	})
 }
 
@@ -342,11 +442,15 @@ func (in *inHalf) start(write func(i int, b byte), count int, done func()) {
 	in.done = done
 	if in.bufferValid {
 		// A byte arrived before the process was ready; consume it and
-		// release the withheld acknowledge.
+		// release the withheld acknowledge.  (In error-detecting mode
+		// the acknowledge went out when the byte was accepted into the
+		// buffer, so none is owed here.)
 		b := in.buffer
 		in.bufferValid = false
 		in.store(b)
-		in.sendAck()
+		if !in.rel.on {
+			in.sendAck()
+		}
 	}
 }
 
@@ -398,9 +502,9 @@ func (in *inHalf) store(b byte) {
 func (in *inHalf) sendAck() {
 	out := in.peerOut
 	in.ackWire.send(packet{
-		bits:  AckBits,
-		isAck: true,
-		onEnd: func() { out.ackArrived() },
+		kind:    pktAck,
+		bits:    AckBits,
+		deliver: func(packet) { out.ackArrived() },
 	})
 }
 
@@ -411,6 +515,67 @@ func (e *Engine) SetStopAndWait(v bool) {
 	for _, in := range e.ins {
 		in.stopAndWait = v
 	}
+}
+
+// SetReliable switches every half of this engine into error-detecting
+// mode (CRC trailer, NAK, timeout retransmission with a bounded retry
+// budget) or back to the paper protocol.  Both ends of every wired link
+// must agree; set the mode before any traffic flows.  A zero timeout or
+// retry count selects the defaults.
+func (e *Engine) SetReliable(on bool, timeout sim.Time, maxRetries int) {
+	if timeout <= 0 {
+		timeout = DefaultRelTimeout
+	}
+	if maxRetries <= 0 {
+		maxRetries = DefaultRelRetries
+	}
+	for i := range e.outs {
+		e.outs[i].rel.on = on
+		e.outs[i].rel.timeout = timeout
+		e.outs[i].rel.maxRetries = maxRetries
+		e.ins[i].rel.on = on
+	}
+}
+
+// SetFaultHook installs (or with nil, removes) a fault-injection hook
+// on link i's outgoing signal line.
+func (e *Engine) SetFaultHook(i int, h FaultHook) {
+	if e.Connected(i) {
+		e.outs[i].wire.hook = h
+	}
+}
+
+// SeverLink cuts both signal lines of link i at the current instant:
+// nothing queued or in flight is delivered afterwards, exactly like a
+// cable pulled mid-run.
+func (e *Engine) SeverLink(i int) {
+	if !e.Connected(i) {
+		return
+	}
+	e.outs[i].wire.severed = true
+	if peer := e.ins[i].peerOut; peer != nil && peer.wire != nil {
+		peer.wire.severed = true
+	}
+	if e.bus != nil {
+		e.emit(probe.Event{Kind: probe.LinkSever, Link: i})
+	}
+}
+
+// SeverAll cuts every connected link of the engine; used when a fault
+// campaign halts the whole node.
+func (e *Engine) SeverAll() {
+	for i := range e.outs {
+		e.SeverLink(i)
+	}
+}
+
+// LinkDown reports whether link i's sender exhausted its retry budget
+// in error-detecting mode, and how many retries it spent.
+func (e *Engine) LinkDown(i int) (down bool, retries int) {
+	if i < 0 || i >= core.NumLinks {
+		return false, 0
+	}
+	return e.outs[i].rel.failed, e.outs[i].rel.retries
 }
 
 // EnableInput arms alternative-input readiness signalling.

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 
+	"transputer/internal/core"
+	"transputer/internal/fault"
 	"transputer/internal/sim"
 )
 
@@ -21,12 +23,43 @@ import (
 //	host app.0
 //	input app 5 10
 //	run 100ms
+//
+// Fault campaigns add a seed, an optional error-detecting link mode,
+// and scripted faults:
+//
+//	seed 42
+//	linkmode reliable timeout=10us retries=32
+//	fault drop app.1 rate=0.05 pkt=data
+//	fault corrupt app.1 rate=0.01
+//	fault jitter disk.0 rate=0.5 max=2us
+//	fault sever app.2 at=500us
+//	fault halt gfx at=1ms
 type Topology struct {
 	Transputers []TransputerSpec
 	Connections []Connection
 	Hosts       []HostSpec
 	Inputs      map[string][]int64
 	RunLimit    sim.Time
+
+	// Seed drives every random decision of the fault plan.
+	Seed uint64
+	// LinkMode selects the paper's plain protocol or the
+	// error-detecting mode for every link in the system.
+	LinkMode LinkMode
+	// Faults is the scripted fault plan (empty when none).
+	Faults []fault.Rule
+}
+
+// LinkMode configures the link protocol for a whole system.
+type LinkMode struct {
+	Reliable bool
+	Timeout  sim.Time // 0 means the link package default
+	Retries  int      // 0 means the link package default
+}
+
+// Plan packages the topology's fault script as a seeded plan.
+func (t *Topology) Plan() fault.Plan {
+	return fault.Plan{Seed: t.Seed, Rules: t.Faults}
 }
 
 // TransputerSpec describes one node.
@@ -51,9 +84,19 @@ type HostSpec struct {
 	Link int
 }
 
-// ParseTopology reads the text format above.
+// ParseTopology reads the text format above.  Every error names the
+// line it came from; duplicate node names, double-wired link ends and
+// references to undeclared nodes are rejected.
 func ParseTopology(src string) (*Topology, error) {
 	topo := &Topology{Inputs: make(map[string][]int64)}
+	nodeLine := make(map[string]int)  // node name -> declaring line
+	wiredLine := make(map[string]int) // "node.link" -> wiring line
+	// refs records node-name uses to validate after all declarations.
+	type ref struct {
+		name string
+		line int
+	}
+	var refs []ref
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.IndexByte(line, '#'); i >= 0 {
@@ -63,8 +106,17 @@ func ParseTopology(src string) (*Topology, error) {
 		if len(fields) == 0 {
 			continue
 		}
+		no := lineNo + 1
 		fail := func(format string, args ...interface{}) error {
-			return fmt.Errorf("topology line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+			return fmt.Errorf("topology line %d: %s", no, fmt.Sprintf(format, args...))
+		}
+		// claim marks a link end as wired, rejecting double wiring.
+		claim := func(end string) error {
+			if prev, dup := wiredLine[end]; dup {
+				return fail("link end %s already wired at line %d", end, prev)
+			}
+			wiredLine[end] = no
+			return nil
 		}
 		switch fields[0] {
 		case "transputer":
@@ -72,6 +124,9 @@ func ParseTopology(src string) (*Topology, error) {
 				return nil, fail("transputer needs a name and model")
 			}
 			spec := TransputerSpec{Name: fields[1], Model: strings.ToLower(fields[2])}
+			if prev, dup := nodeLine[spec.Name]; dup {
+				return nil, fail("duplicate transputer name %q (first declared at line %d)", spec.Name, prev)
+			}
 			if spec.Model != "t424" && spec.Model != "t222" {
 				return nil, fail("unknown model %q", fields[2])
 			}
@@ -93,16 +148,29 @@ func ParseTopology(src string) (*Topology, error) {
 					return nil, fail("unknown option %q", k)
 				}
 			}
+			nodeLine[spec.Name] = no
 			topo.Transputers = append(topo.Transputers, spec)
 		case "connect":
 			if len(fields) != 3 {
 				return nil, fail("connect needs two link ends")
 			}
-			a, al, err1 := parseEnd(fields[1])
-			b, bl, err2 := parseEnd(fields[2])
-			if err1 != nil || err2 != nil {
-				return nil, fail("bad link end")
+			a, al, err := parseEnd(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
 			}
+			b, bl, err := parseEnd(fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if a == b && al == bl {
+				return nil, fail("cannot connect link end %s to itself", fields[1])
+			}
+			for _, end := range []string{fields[1], fields[2]} {
+				if err := claim(end); err != nil {
+					return nil, err
+				}
+			}
+			refs = append(refs, ref{a, no}, ref{b, no})
 			topo.Connections = append(topo.Connections, Connection{A: a, ALink: al, B: b, BLink: bl})
 		case "host":
 			if len(fields) != 2 {
@@ -110,8 +178,12 @@ func ParseTopology(src string) (*Topology, error) {
 			}
 			n, l, err := parseEnd(fields[1])
 			if err != nil {
-				return nil, fail("bad link end %q", fields[1])
+				return nil, fail("%v", err)
 			}
+			if err := claim(fields[1]); err != nil {
+				return nil, err
+			}
+			refs = append(refs, ref{n, no})
 			topo.Hosts = append(topo.Hosts, HostSpec{Node: n, Link: l})
 		case "input":
 			if len(fields) < 3 {
@@ -124,6 +196,7 @@ func ParseTopology(src string) (*Topology, error) {
 				}
 				topo.Inputs[fields[1]] = append(topo.Inputs[fields[1]], v)
 			}
+			refs = append(refs, ref{fields[1], no})
 		case "run":
 			if len(fields) != 2 {
 				return nil, fail("run needs a duration")
@@ -133,20 +206,167 @@ func ParseTopology(src string) (*Topology, error) {
 				return nil, fail("bad duration %q", fields[1])
 			}
 			topo.RunLimit = d
+		case "seed":
+			if len(fields) != 2 {
+				return nil, fail("seed needs one number")
+			}
+			v, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return nil, fail("bad seed %q", fields[1])
+			}
+			topo.Seed = v
+		case "linkmode":
+			mode, err := parseLinkMode(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			topo.LinkMode = mode
+		case "fault":
+			rule, err := parseFault(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			refs = append(refs, ref{rule.Node, no})
+			topo.Faults = append(topo.Faults, rule)
 		default:
 			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	for _, r := range refs {
+		if _, ok := nodeLine[r.name]; !ok {
+			return nil, fmt.Errorf("topology line %d: unknown transputer %q", r.line, r.name)
 		}
 	}
 	return topo, nil
 }
 
+// parseLinkMode reads the arguments of a linkmode directive.
+func parseLinkMode(args []string) (LinkMode, error) {
+	var mode LinkMode
+	if len(args) == 0 {
+		return mode, fmt.Errorf("linkmode needs a mode (standard or reliable)")
+	}
+	switch args[0] {
+	case "standard":
+		if len(args) > 1 {
+			return mode, fmt.Errorf("linkmode standard takes no options")
+		}
+		return mode, nil
+	case "reliable":
+		mode.Reliable = true
+	default:
+		return mode, fmt.Errorf("unknown link mode %q (want standard or reliable)", args[0])
+	}
+	for _, opt := range args[1:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return mode, fmt.Errorf("bad linkmode option %q", opt)
+		}
+		switch k {
+		case "timeout":
+			d, err := parseDuration(v)
+			if err != nil || d <= 0 {
+				return mode, fmt.Errorf("bad timeout %q", v)
+			}
+			mode.Timeout = d
+		case "retries":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return mode, fmt.Errorf("bad retries %q", v)
+			}
+			mode.Retries = n
+		default:
+			return mode, fmt.Errorf("unknown linkmode option %q", k)
+		}
+	}
+	return mode, nil
+}
+
+// parseFault reads the arguments of a fault directive:
+//
+//	fault corrupt <node>.<link> rate=R
+//	fault drop    <node>.<link> rate=R [pkt=data|ack|any]
+//	fault jitter  <node>.<link> rate=R max=D
+//	fault sever   <node>.<link> at=T
+//	fault halt    <node>        at=T
+func parseFault(args []string) (fault.Rule, error) {
+	var rule fault.Rule
+	if len(args) < 2 {
+		return rule, fmt.Errorf("fault needs a kind and a target")
+	}
+	kind, err := fault.ParseKind(args[0])
+	if err != nil {
+		return rule, err
+	}
+	rule.Kind = kind
+	if kind == fault.Halt {
+		if strings.ContainsRune(args[1], '.') {
+			return rule, fmt.Errorf("fault halt targets a node, not a link end")
+		}
+		rule.Node = args[1]
+		rule.Link = -1
+	} else {
+		n, l, err := parseEnd(args[1])
+		if err != nil {
+			return rule, err
+		}
+		rule.Node = n
+		rule.Link = l
+	}
+	for _, opt := range args[2:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return rule, fmt.Errorf("bad fault option %q", opt)
+		}
+		switch k {
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return rule, fmt.Errorf("bad rate %q", v)
+			}
+			rule.Rate = f
+		case "pkt":
+			pc, err := fault.ParsePacketClass(v)
+			if err != nil {
+				return rule, err
+			}
+			rule.Pkt = pc
+		case "at":
+			d, err := parseDuration(v)
+			if err != nil {
+				return rule, fmt.Errorf("bad time %q", v)
+			}
+			rule.At = d
+		case "max":
+			d, err := parseDuration(v)
+			if err != nil {
+				return rule, fmt.Errorf("bad duration %q", v)
+			}
+			rule.Max = d
+		default:
+			return rule, fmt.Errorf("unknown fault option %q", k)
+		}
+	}
+	if err := rule.Validate(); err != nil {
+		return rule, err
+	}
+	return rule, nil
+}
+
+// parseEnd reads a "node.link" link end, checking the link index range.
 func parseEnd(s string) (node string, link int, err error) {
 	node, ls, ok := strings.Cut(s, ".")
 	if !ok || node == "" {
-		return "", 0, fmt.Errorf("bad link end %q", s)
+		return "", 0, fmt.Errorf("bad link end %q (want node.link)", s)
 	}
 	link, err = strconv.Atoi(ls)
-	return node, link, err
+	if err != nil {
+		return "", 0, fmt.Errorf("bad link number in %q", s)
+	}
+	if link < 0 || link >= core.NumLinks {
+		return "", 0, fmt.Errorf("link %d in %q out of range 0..%d", link, s, core.NumLinks-1)
+	}
+	return node, link, nil
 }
 
 func parseSize(s string) (int, error) {

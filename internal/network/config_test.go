@@ -1,8 +1,10 @@
 package network
 
 import (
+	"strings"
 	"testing"
 
+	"transputer/internal/fault"
 	"transputer/internal/sim"
 )
 
@@ -63,11 +65,103 @@ func TestParseTopologyErrors(t *testing.T) {
 		"input a xyz",
 		"run forever",
 		"banana split",
+		// hardening: duplicates, double wiring, bad references
+		"transputer x t424\ntransputer x t424",
+		"transputer x t424\ntransputer y t424\nconnect x.0 y.0\nconnect x.0 y.1",
+		"transputer x t424\ntransputer y t424\nconnect x.0 y.0\nhost y.0",
+		"transputer x t424\nhost x.9",
+		"transputer x t424\nconnect x.0 x.0",
+		"connect a.0 b.0", // undeclared nodes
+		"transputer x t424\ninput ghost 1",
+		// fault-campaign directives
+		"seed",
+		"seed banana",
+		"linkmode",
+		"linkmode turbo",
+		"linkmode reliable timeout=banana",
+		"linkmode reliable retries=0",
+		"fault",
+		"fault meltdown x.0 rate=0.5",
+		"transputer x t424\nfault drop x.0 rate=2",
+		"transputer x t424\nfault jitter x.0 rate=0.5",
+		"transputer x t424\nfault sever x.0",
+		"transputer x t424\nfault halt x.0 at=1ms",
+		"transputer x t424\nfault drop ghost.0 rate=0.5",
 	}
 	for _, src := range cases {
 		if _, err := ParseTopology(src); err == nil {
 			t.Errorf("ParseTopology(%q) should fail", src)
 		}
+	}
+}
+
+// TestParseTopologyErrorLines: every parse error names the offending
+// line.
+func TestParseTopologyErrorLines(t *testing.T) {
+	src := "transputer x t424\ntransputer y t424\nconnect x.0 y.0\nconnect y.0 x.1\n"
+	_, err := ParseTopology(src)
+	if err == nil {
+		t.Fatal("double-wired end accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 4") || !strings.Contains(msg, "line 3") {
+		t.Errorf("error %q should name the clashing lines", msg)
+	}
+	_, err = ParseTopology("transputer x t424\n\ntransputer x t222\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("duplicate-name error %v should name both lines", err)
+	}
+}
+
+// TestParseFaultCampaign covers the seed, linkmode and fault
+// directives.
+func TestParseFaultCampaign(t *testing.T) {
+	src := `
+transputer a t424 program=a.occ
+transputer b t424 program=b.occ
+connect a.1 b.0
+seed 42
+linkmode reliable timeout=5us retries=16
+fault drop a.1 rate=0.05 pkt=data
+fault corrupt a.1 rate=0.01
+fault jitter b.0 rate=0.5 max=2us
+fault sever a.1 at=500us
+fault halt b at=1ms
+run 10ms
+`
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Seed != 42 {
+		t.Errorf("seed = %d", topo.Seed)
+	}
+	lm := topo.LinkMode
+	if !lm.Reliable || lm.Timeout != 5*sim.Microsecond || lm.Retries != 16 {
+		t.Errorf("linkmode = %+v", lm)
+	}
+	if len(topo.Faults) != 5 {
+		t.Fatalf("faults = %+v", topo.Faults)
+	}
+	d := topo.Faults[0]
+	if d.Kind != fault.Drop || d.Node != "a" || d.Link != 1 || d.Rate != 0.05 || d.Pkt != fault.DataPacket {
+		t.Errorf("drop rule = %+v", d)
+	}
+	j := topo.Faults[2]
+	if j.Kind != fault.Jitter || j.Max != 2*sim.Microsecond {
+		t.Errorf("jitter rule = %+v", j)
+	}
+	sv := topo.Faults[3]
+	if sv.Kind != fault.Sever || sv.At != 500*sim.Microsecond {
+		t.Errorf("sever rule = %+v", sv)
+	}
+	h := topo.Faults[4]
+	if h.Kind != fault.Halt || h.Node != "b" || h.Link != -1 || h.At != sim.Millisecond {
+		t.Errorf("halt rule = %+v", h)
+	}
+	plan := topo.Plan()
+	if plan.Seed != 42 || len(plan.Rules) != 5 {
+		t.Errorf("plan = %+v", plan)
 	}
 }
 

@@ -1,0 +1,183 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"transputer/internal/core"
+	"transputer/internal/fault"
+	"transputer/internal/probe"
+	"transputer/internal/sim"
+)
+
+// SetLinkMode selects the link protocol for the whole system: the
+// paper's plain 11-bit protocol (the default) or the error-detecting
+// mode with CRC trailers, NAKs and bounded retransmission.  It applies
+// to every node and host already in the system and to any added later.
+func (s *System) SetLinkMode(m LinkMode) {
+	s.linkMode = m
+	for _, n := range s.nodes {
+		n.Engine.SetReliable(m.Reliable, m.Timeout, m.Retries)
+	}
+	for _, h := range s.hosts {
+		h.end.SetReliable(m.Reliable, m.Timeout, m.Retries)
+	}
+}
+
+// ApplyFaults installs a seeded fault plan: per-packet hooks on the
+// targeted wires, and scheduled severs and halts on the kernel.  Call
+// it after the topology is fully wired and before Run.
+func (s *System) ApplyFaults(plan fault.Plan) error {
+	if plan.Empty() {
+		return nil
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		return err
+	}
+	for _, n := range s.nodes {
+		for l := 0; l < core.NumLinks; l++ {
+			hook := inj.WireHook(n.Name, l)
+			if hook == nil {
+				continue
+			}
+			if !n.Engine.Connected(l) {
+				return fmt.Errorf("network: fault targets unwired link end %s.%d", n.Name, l)
+			}
+			n.Engine.SetFaultHook(l, hook)
+		}
+	}
+	for _, r := range inj.Timed() {
+		n, ok := s.byName[r.Node]
+		if !ok {
+			return fmt.Errorf("network: fault targets unknown transputer %q", r.Node)
+		}
+		switch r.Kind {
+		case fault.Sever:
+			if !n.Engine.Connected(r.Link) {
+				return fmt.Errorf("network: sever targets unwired link end %s.%d", n.Name, r.Link)
+			}
+			lnk := r.Link
+			s.Kernel.Schedule(r.At, func() { n.Engine.SeverLink(lnk) })
+		case fault.Halt:
+			s.Kernel.Schedule(r.At, func() {
+				n.M.ForceHalt("fault injection")
+				n.Engine.SeverAll()
+			})
+		}
+	}
+	return nil
+}
+
+// WatchdogProc is one blocked process in a watchdog report.
+type WatchdogProc struct {
+	Node string
+	core.BlockedProcess
+}
+
+// DownLink is a link whose reliable-mode sender exhausted its retry
+// budget.
+type DownLink struct {
+	Node    string
+	Link    int
+	Retries int
+}
+
+// HostStall reports a host transfer abandoned mid-message: the link
+// went quiet (severed wire, halted peer, or a peer that stopped
+// mid-protocol) with bytes still owed.  This is the structured form of
+// what used to be a silent indefinite block.
+type HostStall struct {
+	Node string // node the host is wired to
+	Link int
+	Got  int  // bytes transferred before the stall
+	Want int  // bytes the transfer expected
+	Out  bool // true when the host was sending
+}
+
+// Error satisfies error so a stall can propagate as one.
+func (e HostStall) Error() string {
+	dir := "receiving"
+	if e.Out {
+		dir = "sending"
+	}
+	return fmt.Sprintf("host on %s.%d stalled %s: %d of %d bytes before EOF",
+		e.Node, e.Link, dir, e.Got, e.Want)
+}
+
+// WatchdogReport names every process the system is waiting on when
+// simulated time can no longer advance: the evidence for a deadlock
+// verdict, one line per process.
+type WatchdogReport struct {
+	Time       sim.Time
+	Procs      []WatchdogProc
+	DownLinks  []DownLink
+	HostStalls []HostStall
+}
+
+// Empty reports whether the watchdog found nothing stuck.
+func (r *WatchdogReport) Empty() bool {
+	return len(r.Procs) == 0 && len(r.DownLinks) == 0 && len(r.HostStalls) == 0
+}
+
+// String renders the report in the format documented in DESIGN.md.
+func (r *WatchdogReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadlock watchdog: simulated time stuck at %v\n", r.Time)
+	for _, p := range r.Procs {
+		fmt.Fprintf(&b, "  %s: %s\n", p.Node, p.BlockedProcess)
+	}
+	for _, d := range r.DownLinks {
+		fmt.Fprintf(&b, "  %s: link %d DOWN after %d retries\n", d.Node, d.Link, d.Retries)
+	}
+	for _, h := range r.HostStalls {
+		fmt.Fprintf(&b, "  host: %s\n", h.Error())
+	}
+	return b.String()
+}
+
+// Watchdog inspects a settled system for processes that can never run
+// again.  It returns nil when nothing is blocked: a quiet system that
+// simply finished.  Each blocked process is published to the probe bus
+// as a Deadlock event, so the verdict lands in timelines and metrics
+// alongside the traffic that led to it.
+func (s *System) Watchdog() *WatchdogReport {
+	rep := &WatchdogReport{Time: s.Kernel.Now()}
+	for _, n := range s.nodes {
+		if n.M.Halted() {
+			continue // a halt is its own verdict, not a deadlock
+		}
+		for _, p := range n.M.BlockedProcesses() {
+			rep.Procs = append(rep.Procs, WatchdogProc{Node: n.Name, BlockedProcess: p})
+			if s.bus != nil {
+				s.bus.Publish(probe.Event{
+					Time: rep.Time, Node: n.Name, Kind: probe.Deadlock,
+					Proc: p.Wdesc, Addr: p.Addr, Link: p.Link,
+					Arg: int64(p.Kind),
+				})
+			}
+		}
+		for l := 0; l < core.NumLinks; l++ {
+			if down, retries := n.Engine.LinkDown(l); down {
+				rep.DownLinks = append(rep.DownLinks, DownLink{Node: n.Name, Link: l, Retries: retries})
+			}
+		}
+	}
+	for _, h := range s.hosts {
+		if st := h.Stall(); st != nil {
+			rep.HostStalls = append(rep.HostStalls, *st)
+		}
+	}
+	sort.Slice(rep.Procs, func(i, j int) bool {
+		a, b := rep.Procs[i], rep.Procs[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Wdesc < b.Wdesc
+	})
+	if rep.Empty() {
+		return nil
+	}
+	return rep
+}

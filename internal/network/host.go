@@ -31,6 +31,7 @@ type Host struct {
 	end       *link.HostEnd
 	out       io.Writer
 	node      *Node
+	link      int
 	wordBytes int
 
 	// Values records every word the program reported.
@@ -62,6 +63,7 @@ func newHost(k *sim.Kernel, n *Node, l int, w io.Writer) *Host {
 		end:       link.NewHostEnd(k),
 		out:       w,
 		node:      n,
+		link:      l,
 		wordBytes: n.M.BytesPerWord(),
 		k:         k,
 	}
@@ -72,6 +74,20 @@ func newHost(k *sim.Kernel, n *Node, l int, w io.Writer) *Host {
 
 // QueueInput adds words for the program to read with HostCmdGetWord.
 func (h *Host) QueueInput(words ...int64) { h.input = append(h.input, words...) }
+
+// Stall reports a transfer abandoned mid-message, or nil.  The host
+// always has a command read pending, so an idle receive that has seen
+// no bytes is normal; a receive stopped partway through a word, or any
+// unfinished send, means the device hit EOF mid-protocol.
+func (h *Host) Stall() *HostStall {
+	if got, want, active := h.end.RecvProgress(); active && got > 0 && got < want {
+		return &HostStall{Node: h.node.Name, Link: h.link, Got: got, Want: want}
+	}
+	if sent, want, active := h.end.SendProgress(); active && sent < want {
+		return &HostStall{Node: h.node.Name, Link: h.link, Got: sent, Want: want, Out: true}
+	}
+	return nil
+}
 
 func (h *Host) readCommand() {
 	h.end.Recv(h.wordBytes, func(b []byte) {

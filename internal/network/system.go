@@ -32,6 +32,9 @@ type System struct {
 	byName map[string]*Node
 	hosts  []*Host
 	bus    *probe.Bus
+	// linkMode is applied to every engine and host end, present and
+	// future (see SetLinkMode).
+	linkMode LinkMode
 }
 
 // NewSystem returns an empty system.
@@ -57,6 +60,9 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 	if s.bus != nil {
 		m.AttachProbe(s.bus)
 		n.Engine.AttachProbe(s.bus)
+	}
+	if s.linkMode.Reliable {
+		n.Engine.SetReliable(true, s.linkMode.Timeout, s.linkMode.Retries)
 	}
 	s.nodes = append(s.nodes, n)
 	s.byName[name] = n
@@ -140,6 +146,9 @@ func (s *System) AttachHost(n *Node, l int, w io.Writer) (*Host, error) {
 	}
 	h := newHost(s.Kernel, n, l, w)
 	h.bus = s.bus
+	if s.linkMode.Reliable {
+		h.end.SetReliable(true, s.linkMode.Timeout, s.linkMode.Retries)
+	}
 	n.wired[l] = true
 	s.hosts = append(s.hosts, h)
 	return h, nil

@@ -30,6 +30,8 @@ type nodeMetrics struct {
 	dispatches, preempts, timeslices uint64
 	rendezvous                       uint64
 	rendezvousBytes                  uint64
+	halted                           bool
+	deadlocked                       uint64
 }
 
 // queueMetrics integrates run-queue depth over time.
@@ -57,6 +59,16 @@ type linkMetrics struct {
 	bytesOut  uint64
 	bytesIn   uint64
 	xfers     uint64
+
+	// Fault-injection and error-detecting-mode counters.
+	drops       uint64
+	corrupts    uint64
+	delays      uint64
+	delayed     sim.Time
+	naks        uint64
+	retransmits uint64
+	down        bool
+	severed     bool
 }
 
 // NewMetrics subscribes a fresh aggregator to the bus.
@@ -133,6 +145,26 @@ func (m *Metrics) consume(e Event) {
 		}
 	case AckStall:
 		n.link(e.Link).ackStall += e.Dur
+	case FaultDrop:
+		n.link(e.Link).drops++
+	case FaultCorrupt:
+		n.link(e.Link).corrupts++
+	case FaultDelay:
+		l := n.link(e.Link)
+		l.delays++
+		l.delayed += e.Dur
+	case LinkNak:
+		n.link(e.Link).naks++
+	case LinkRetransmit:
+		n.link(e.Link).retransmits++
+	case LinkDown:
+		n.link(e.Link).down = true
+	case LinkSever:
+		n.link(e.Link).severed = true
+	case NodeHalt:
+		n.halted = true
+	case Deadlock:
+		n.deadlocked++
 	}
 }
 
@@ -192,8 +224,52 @@ func (m *Metrics) Report(w io.Writer) {
 			fmt.Fprintf(w, "  link %d: %d B out / %d B in (%d transfers), wire busy %.1f%% (%d data, %d acks), ack-stall %v\n",
 				i, l.bytesOut, l.bytesIn, l.xfers,
 				pct(l.wireBusy, total), l.dataBytes, l.acks, l.ackStall)
+			if l.drops > 0 || l.corrupts > 0 || l.delays > 0 || l.severed {
+				sever := ""
+				if l.severed {
+					sever = ", severed"
+				}
+				fmt.Fprintf(w, "  link %d faults: %d dropped, %d corrupted, %d delayed (%v)%s\n",
+					i, l.drops, l.corrupts, l.delays, l.delayed, sever)
+			}
+			if l.retransmits > 0 || l.naks > 0 || l.down {
+				state := "recovered"
+				if l.down {
+					state = "DOWN (retry budget exhausted)"
+				}
+				fmt.Fprintf(w, "  link %d reliable: %d retransmits, %d naks, %s\n",
+					i, l.retransmits, l.naks, state)
+			}
+		}
+		if n.halted {
+			fmt.Fprintf(w, "  halted by fault injection\n")
+		}
+		if n.deadlocked > 0 {
+			fmt.Fprintf(w, "  watchdog: %d process(es) blocked at end of run\n", n.deadlocked)
 		}
 	}
+}
+
+// Retransmits returns the error-detecting-mode retransmission count of
+// one link (for tests and campaign assertions).
+func (m *Metrics) Retransmits(node string, link int) uint64 {
+	if n, ok := m.nodes[node]; ok {
+		if l, ok := n.links[link]; ok {
+			return l.retransmits
+		}
+	}
+	return 0
+}
+
+// FaultCounts returns the injected drop/corrupt/delay totals of one
+// link.
+func (m *Metrics) FaultCounts(node string, link int) (drops, corrupts, delays uint64) {
+	if n, ok := m.nodes[node]; ok {
+		if l, ok := n.links[link]; ok {
+			return l.drops, l.corrupts, l.delays
+		}
+	}
+	return 0, 0, 0
 }
 
 func avgDepth(q queueMetrics, total sim.Time) float64 {

@@ -68,6 +68,34 @@ const (
 	// HostCommand: a host device decoded a protocol command; Arg is the
 	// command word.
 	HostCommand
+	// FaultDrop: an injected fault swallowed a packet on a wire.  Link is
+	// the link index at the publishing node, Ack distinguishes the packet
+	// class.
+	FaultDrop
+	// FaultCorrupt: an injected fault flipped bits of a data packet's
+	// payload; Arg is the XOR mask applied.
+	FaultCorrupt
+	// FaultDelay: an injected fault held a packet on the wire for an
+	// extra Dur before its bits went out.
+	FaultDelay
+	// LinkNak: a receiver in error-detecting link mode rejected a data
+	// packet with a bad check trailer and asked for a retransmission.
+	LinkNak
+	// LinkRetransmit: a sender in error-detecting link mode resent the
+	// current byte (after a NAK or an acknowledge timeout); Arg is the
+	// retry number.
+	LinkRetransmit
+	// LinkDown: a sender in error-detecting link mode exhausted its retry
+	// budget and declared the link dead; Arg is the retry limit.
+	LinkDown
+	// LinkSever: an injected fault cut a link's wires at this instant.
+	LinkSever
+	// NodeHalt: an injected fault stopped the node's processor.
+	NodeHalt
+	// Deadlock: the watchdog found this process blocked with simulated
+	// time unable to advance.  Proc, Addr and Link describe what it was
+	// waiting for; Arg encodes the core.BlockKind.
+	Deadlock
 
 	numKinds
 )
@@ -88,6 +116,15 @@ var kindNames = [numKinds]string{
 	WirePacket:     "wire.packet",
 	AckStall:       "ack.stall",
 	HostCommand:    "host.command",
+	FaultDrop:      "fault.drop",
+	FaultCorrupt:   "fault.corrupt",
+	FaultDelay:     "fault.delay",
+	LinkNak:        "link.nak",
+	LinkRetransmit: "link.retransmit",
+	LinkDown:       "link.down",
+	LinkSever:      "link.sever",
+	NodeHalt:       "node.halt",
+	Deadlock:       "deadlock",
 }
 
 // String returns the event kind's dotted name.

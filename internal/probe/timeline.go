@@ -207,6 +207,32 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 				Name: "host.cmd", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidHost, Cat: "host", S: "t",
 				Args: map[string]interface{}{"cmd": e.Arg},
 			})
+		case FaultDrop, FaultCorrupt, LinkNak, LinkRetransmit, LinkDown:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "fault", S: "t",
+				Args: map[string]interface{}{"ack": e.Ack, "arg": e.Arg},
+			})
+		case FaultDelay:
+			out = append(out, chromeEvent{
+				Name: "fault.delay", Ph: "X", Ts: usec(e.Time), Dur: usec(e.Dur),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "fault",
+			})
+		case LinkSever:
+			out = append(out, chromeEvent{
+				Name: "link.sever", Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "fault", S: "p",
+			})
+		case NodeHalt:
+			out = append(out, chromeEvent{
+				Name: "node.halt", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "fault", S: "p",
+			})
+		case Deadlock:
+			out = append(out, chromeEvent{
+				Name: "deadlock", Ph: "i", Ts: usec(e.Time), Pid: p,
+				Tid: procTid(e.Node, e.Proc), Cat: "watchdog", S: "p",
+				Args: map[string]interface{}{"chan": hex(e.Addr), "link": e.Link},
+			})
 		}
 	}
 	// Close any slice still open at the end of the run.

@@ -83,6 +83,10 @@ func BuildNetwork(topo *network.Topology, baseDir string, out io.Writer) (*Netwo
 		}
 		net.Hosts = append(net.Hosts, host)
 	}
+	s.SetLinkMode(topo.LinkMode)
+	if err := s.ApplyFaults(topo.Plan()); err != nil {
+		return nil, err
+	}
 	net.Limit = topo.RunLimit
 	if net.Limit == 0 {
 		net.Limit = sim.Second

@@ -1,0 +1,74 @@
+package tool
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+)
+
+// LineResolver maps a node's instruction pointer to a source location
+// ("file:line") through the loaded programs' source maps.  Unknown
+// nodes and unmapped addresses resolve to "".
+func LineResolver(progs []Program) func(node string, iptr uint64) string {
+	type nodeMap struct {
+		codeStart uint64
+		codeLen   int
+		marks     []core.SourceMark
+		file      string
+	}
+	byNode := make(map[string]nodeMap)
+	for _, p := range progs {
+		byNode[p.Node.Name] = nodeMap{
+			codeStart: p.Node.M.CodeStart(),
+			codeLen:   len(p.Image.Code),
+			marks:     p.Image.Marks,
+			file:      filepath.Base(p.Path),
+		}
+	}
+	return func(node string, iptr uint64) string {
+		nm, ok := byNode[node]
+		if !ok || len(nm.marks) == 0 || iptr < nm.codeStart {
+			return ""
+		}
+		off := int(iptr - nm.codeStart)
+		if off >= nm.codeLen {
+			return ""
+		}
+		line := -1
+		for _, mk := range nm.marks { // sorted by offset
+			if mk.Offset > off {
+				break
+			}
+			line = mk.Line
+		}
+		if line < 0 {
+			return ""
+		}
+		return fmt.Sprintf("%s:%d", nm.file, line)
+	}
+}
+
+// PrintWatchdog writes a deadlock watchdog report, resolving each
+// blocked process's instruction pointer to an occam source line when a
+// source map covers it.  resolve may be nil.
+func PrintWatchdog(w io.Writer, rep *network.WatchdogReport, resolve func(string, uint64) string) {
+	fmt.Fprintf(w, "deadlock watchdog: simulated time stuck at %v\n", rep.Time)
+	for _, p := range rep.Procs {
+		loc := ""
+		if resolve != nil {
+			if s := resolve(p.Node, p.Iptr); s != "" {
+				loc = " at " + s
+			}
+		}
+		fmt.Fprintf(w, "  %s: %s%s\n", p.Node, p.BlockedProcess, loc)
+	}
+	for _, d := range rep.DownLinks {
+		fmt.Fprintf(w, "  %s: link %d DOWN after %d retries\n", d.Node, d.Link, d.Retries)
+	}
+	for _, h := range rep.HostStalls {
+		fmt.Fprintf(w, "  host: %s\n", h.Error())
+	}
+}
