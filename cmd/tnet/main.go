@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tnet [-stats] [-timeline out.json] [-metrics] [-prof out.prof]
-//	     [-profperiod us] [-seed n] network.tnet
+//	     [-profperiod us] [-seed n] [-workers n] network.tnet
 //
 // -seed overrides the topology file's seed directive, so one fault
 // campaign file can be replayed under many seeds.
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"transputer/internal/network"
 	"transputer/internal/sim"
@@ -24,6 +25,7 @@ import (
 
 func main() {
 	stats := flag.Bool("stats", false, "print per-node statistics")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads for the parallel engine (1 = sequential; output is identical at any count)")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
 	metrics := flag.Bool("metrics", false, "print probe metrics (utilization, run queues, links)")
 	prof := flag.String("prof", "", "sample every node's instruction pointer and write a profile to this file")
@@ -52,6 +54,7 @@ func main() {
 		fatal(err)
 	}
 	s := net.System
+	s.SetWorkers(*workers)
 
 	obs := tool.NewObserver(s)
 	if *timeline != "" {

@@ -7,13 +7,14 @@
 //
 //	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats]
 //	     [-timeline out.json] [-metrics] [-prof out.prof] [-profperiod us]
-//	     [-in w,w,...] program.{occ,tasm,tix}
+//	     [-in w,w,...] [-workers n] program.{occ,tasm,tix}
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -34,6 +35,7 @@ func main() {
 	prof := flag.String("prof", "", "sample the instruction pointer and write a profile to this file")
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	input := flag.String("in", "", "comma-separated words queued for host input")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads for the parallel engine (1 = sequential; output is identical at any count)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: trun [flags] program.{occ,tasm,tix}")
@@ -50,6 +52,7 @@ func main() {
 	}
 
 	s := network.NewSystem()
+	s.SetWorkers(*workers)
 	n, err := s.AddTransputer("main", cfg)
 	if err != nil {
 		fatal(err)

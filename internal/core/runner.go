@@ -2,35 +2,54 @@ package core
 
 import "transputer/internal/sim"
 
-// Runner drives a machine from a simulation kernel, scheduling one
-// event per executed instruction (or long-operation installment).  When
-// the machine idles the runner stops scheduling; the machine's
-// ready callback resumes it.
+// Driver is the scheduling surface a Runner needs from the simulation
+// engine.  A standalone *sim.Kernel and a coordinator *sim.Shard both
+// satisfy it; the batch-stepping extensions (NextTime, Horizon,
+// SetOffset, Stamp, AdvanceTo) let the runner execute many
+// instructions per heap event while observable time stays exactly as
+// if each instruction had been its own event.
+type Driver interface {
+	Now() sim.Time
+	Schedule(at sim.Time, fn func()) sim.EventID
+	Cancel(id sim.EventID)
+	NextTime() (sim.Time, bool)
+	Horizon() sim.Time
+	SetOffset(d sim.Time)
+	Stamp() uint64
+	AdvanceTo(t sim.Time)
+}
+
+// Runner drives a machine from a simulation driver.  Instructions are
+// executed in batches: one heap event runs a tight loop of Machine.Step
+// calls, advancing a virtual-time offset per instruction, until the
+// next scheduled event, the shard's window horizon, or the machine
+// idling or halting.  The machine's ready callback resumes a stopped
+// runner.
 type Runner struct {
 	M      *Machine
-	kernel *sim.Kernel
+	drv    Driver
 	active bool
 	// BusyCycles counts cycles the processor spent executing; the
 	// difference from elapsed time is idle time.
 	BusyCycles uint64
 }
 
-// NewRunner attaches a machine to a kernel (as its clock) and arranges
+// NewRunner attaches a machine to a driver (as its clock) and arranges
 // stepping.  The external engine, if any, must be attached by the
 // caller before or after.
-func NewRunner(k *sim.Kernel, m *Machine) *Runner {
-	r := &Runner{M: m, kernel: k}
-	m.Attach(kernelClock{k}, nil)
+func NewRunner(d Driver, m *Machine) *Runner {
+	r := &Runner{M: m, drv: d}
+	m.Attach(driverClock{d}, nil)
 	m.OnReady(r.resume)
 	return r
 }
 
-// kernelClock adapts a sim.Kernel to the machine's Clock interface.
-type kernelClock struct{ k *sim.Kernel }
+// driverClock adapts a Driver to the machine's Clock interface.
+type driverClock struct{ d Driver }
 
-func (c kernelClock) Now() sim.Time                        { return c.k.Now() }
-func (c kernelClock) At(t sim.Time, fn func()) sim.EventID { return c.k.Schedule(t, fn) }
-func (c kernelClock) Cancel(id sim.EventID)                { c.k.Cancel(id) }
+func (c driverClock) Now() sim.Time                        { return c.d.Now() }
+func (c driverClock) At(t sim.Time, fn func()) sim.EventID { return c.d.Schedule(t, fn) }
+func (c driverClock) Cancel(id sim.EventID)                { c.d.Cancel(id) }
 
 // Start begins stepping the machine if it has work.
 func (r *Runner) Start() { r.resume() }
@@ -40,30 +59,66 @@ func (r *Runner) resume() {
 		return
 	}
 	r.active = true
-	r.kernel.Schedule(r.kernel.Now(), r.step)
+	r.drv.Schedule(r.drv.Now(), r.step)
 }
 
+// bound returns the exclusive virtual time the current batch may run
+// to: the earlier of the next scheduled event (which must interleave
+// exactly as it would with one event per instruction) and the driver's
+// horizon (the shard's conservative window).
+func (r *Runner) bound() sim.Time {
+	b := r.drv.Horizon()
+	if t, ok := r.drv.NextTime(); ok && t < b {
+		b = t
+	}
+	return b
+}
+
+// step executes one batch of instructions.  The first instruction runs
+// unconditionally (its event was scheduled inside the bound); each
+// subsequent instruction runs only while the batch's virtual time
+// stays strictly before bound(), so any pending event — scheduled
+// earlier, hence with an earlier tie-break — fires first, exactly as
+// in one-event-per-instruction stepping.
 func (r *Runner) step() {
 	r.active = false
 	m := r.M
 	if m.Halted() {
 		return
 	}
-	cycles := m.Step()
-	r.BusyCycles += uint64(cycles)
-	if m.Halted() {
-		return
+	d := r.drv
+	base := d.Now()
+	var off, last sim.Time
+	stamp := d.Stamp()
+	bound := r.bound()
+	for {
+		last = base + off
+		cycles := m.Step()
+		r.BusyCycles += uint64(cycles)
+		delay := sim.Time(int64(cycles) * int64(m.cfg.CycleNs))
+		if cycles == 0 {
+			delay = sim.Time(m.cfg.CycleNs)
+		}
+		off += delay
+		if m.Halted() || (m.Idle() && m.longOp == nil && m.pendingSwitchCycles == 0) {
+			// The machine stopped producing work at `last`; park the
+			// clock there, as stepwise execution would have.
+			d.SetOffset(0)
+			d.AdvanceTo(last)
+			return
+		}
+		if s := d.Stamp(); s != stamp {
+			stamp = s
+			bound = r.bound()
+		}
+		if base+off >= bound {
+			break
+		}
+		d.SetOffset(off)
 	}
-	if m.Idle() && m.longOp == nil && m.pendingSwitchCycles == 0 {
-		// Nothing to run; wait for a timer, link or peer event.
-		return
-	}
+	d.SetOffset(0)
 	r.active = true
-	delay := sim.Time(int64(cycles) * int64(m.cfg.CycleNs))
-	if cycles == 0 {
-		delay = sim.Time(m.cfg.CycleNs)
-	}
-	r.kernel.Schedule(r.kernel.Now()+delay, r.step)
+	d.Schedule(base+off, r.step)
 }
 
 // RunResult describes why a standalone run stopped.

@@ -40,6 +40,38 @@ type Stats struct {
 	CodeBytes int
 }
 
+// Add accumulates every counter of other into s, including the
+// per-function and per-operation tallies; system-wide totals are built
+// by folding node stats together with it.
+func (s *Stats) Add(other Stats) {
+	s.Instructions += other.Instructions
+	s.InstructionBytes += other.InstructionBytes
+	s.SingleByte += other.SingleByte
+	s.Cycles += other.Cycles
+	for i, c := range other.FunctionCounts {
+		s.FunctionCounts[i] += c
+	}
+	if len(other.OpCounts) > 0 {
+		if s.OpCounts == nil {
+			s.OpCounts = make(map[uint16]uint64, len(other.OpCounts))
+		}
+		for op, c := range other.OpCounts {
+			s.OpCounts[op] += c
+		}
+	}
+	s.Enqueues += other.Enqueues
+	s.Deschedules += other.Deschedules
+	s.Preemptions += other.Preemptions
+	s.Timeslices += other.Timeslices
+	s.MessagesIn += other.MessagesIn
+	s.MessagesOut += other.MessagesOut
+	s.BytesIn += other.BytesIn
+	s.BytesOut += other.BytesOut
+	s.ExternalIn += other.ExternalIn
+	s.ExternalOut += other.ExternalOut
+	s.CodeBytes += other.CodeBytes
+}
+
 // SingleByteFraction returns the fraction of executed instructions that
 // occupied a single byte.
 func (s Stats) SingleByteFraction() float64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"transputer/internal/core"
 	"transputer/internal/isa"
 )
 
@@ -89,5 +90,56 @@ func TestChannelCostModel(t *testing.T) {
 	// exchange costs at least 24 cycles per side.
 	if isa.CommunicationCycles(0, 32) != 24 {
 		t.Errorf("CommunicationCycles(0) = %d, want 24", isa.CommunicationCycles(0, 32))
+	}
+}
+
+// TestStatsAdd: folding one Stats into another must carry every
+// counter, including the per-function array and the lazily allocated
+// per-opcode map — aggregate views drop information otherwise.
+func TestStatsAdd(t *testing.T) {
+	a := core.Stats{
+		Instructions:     10,
+		InstructionBytes: 14,
+		SingleByte:       8,
+		Cycles:           100,
+		Enqueues:         1,
+		Deschedules:      2,
+		Preemptions:      3,
+		Timeslices:       4,
+		MessagesIn:       5,
+		MessagesOut:      6,
+		BytesIn:          7,
+		BytesOut:         8,
+		ExternalIn:       9,
+		ExternalOut:      10,
+		CodeBytes:        32,
+	}
+	a.FunctionCounts[3] = 7
+	b := core.Stats{Instructions: 5, Cycles: 50, CodeBytes: 16,
+		OpCounts: map[uint16]uint64{0x2A: 3, 0x05: 1}}
+	b.FunctionCounts[3] = 2
+	b.FunctionCounts[15] = 1
+
+	a.Add(b)
+	if a.Instructions != 15 || a.Cycles != 150 || a.CodeBytes != 48 {
+		t.Errorf("scalars: %+v", a)
+	}
+	if a.FunctionCounts[3] != 9 || a.FunctionCounts[15] != 1 {
+		t.Errorf("function counts: %v", a.FunctionCounts)
+	}
+	// The destination had no OpCounts map; Add must allocate one
+	// rather than dropping the tallies.
+	if a.OpCounts[0x2A] != 3 || a.OpCounts[0x05] != 1 {
+		t.Errorf("op counts: %v", a.OpCounts)
+	}
+	// Adding into an existing map accumulates.
+	a.Add(core.Stats{OpCounts: map[uint16]uint64{0x2A: 2}})
+	if a.OpCounts[0x2A] != 5 {
+		t.Errorf("op counts after second add: %v", a.OpCounts)
+	}
+	// The source map must not be aliased.
+	b.OpCounts[0x2A] = 99
+	if a.OpCounts[0x2A] != 5 {
+		t.Error("Add aliased the source OpCounts map")
 	}
 }

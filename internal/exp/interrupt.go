@@ -83,19 +83,19 @@ func measureInterruptLatency(n int) (worst sim.Time, count int64, err error) {
 	s.Run(50 * sim.Microsecond)
 	for i := 0; i < n; i++ {
 		// Let the background work run a varying while.
-		s.Continue(s.Kernel.Now() + sim.Time(1000+i*337))
+		s.Continue(s.Now() + sim.Time(1000+i*337))
 		before := readCount()
-		raisedAt := s.Kernel.Now()
+		raisedAt := s.Now()
 		node.M.RaiseEvent()
 		// Advance in single-cycle steps until the handler has counted.
 		deadline := raisedAt + 100*sim.Microsecond
 		for readCount() == before {
-			if s.Kernel.Now() >= deadline {
+			if s.Now() >= deadline {
 				return 0, readCount(), fmt.Errorf("handler did not run within 100µs")
 			}
-			s.Continue(s.Kernel.Now() + 50)
+			s.Continue(s.Now() + 50)
 		}
-		if lat := s.Kernel.Now() - raisedAt; lat > worst {
+		if lat := s.Now() - raisedAt; lat > worst {
 			worst = lat
 		}
 	}

@@ -8,13 +8,15 @@ import "transputer/internal/sim"
 // standard links).  It speaks the same bit-level protocol, so traffic
 // to and from the host is paced exactly like inter-transputer traffic.
 type HostEnd struct {
-	k   *sim.Kernel
+	k   sim.Clock
 	out *outHalf
 	in  *inHalf
 }
 
-// NewHostEnd creates an unconnected host link end.
-func NewHostEnd(k *sim.Kernel) *HostEnd {
+// NewHostEnd creates an unconnected host link end.  A host end wired
+// to a node's engine should share that node's clock (its shard), so
+// host traffic stays on the synchronous fast path.
+func NewHostEnd(k sim.Clock) *HostEnd {
 	return &HostEnd{k: k, out: &outHalf{}, in: &inHalf{}}
 }
 

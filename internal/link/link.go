@@ -100,16 +100,34 @@ type FaultAction struct {
 // and must be deterministic for a given call sequence.
 type FaultHook func(isCtl bool) FaultAction
 
+// rxGate is the receiver-side cut detector for a wire that crosses
+// shards: it is owned (read and written) by the receiving shard only,
+// so a sever can kill in-flight packets without touching sender state.
+type rxGate struct {
+	severed bool
+}
+
 // wire is a one-directional signal line: a serializer with priority for
 // acknowledges (so a long data stream in one direction cannot starve
-// the acknowledges of the reverse channel).
+// the acknowledges of the reverse channel).  A wire lives entirely in
+// the sending engine's clock domain; when the receiver is on another
+// shard, deliveries travel through post with prop latency instead of
+// running synchronously.
 type wire struct {
-	k     *sim.Kernel
+	k     sim.Clock
 	bitNs int64
 	busy  bool
 	acks  []packet // pending acknowledges and naks (sent first)
 	data  []packet // pending data bytes
 	stats WireStats
+
+	// post and prop are set when the receiving end lives on another
+	// shard: receiver-side callbacks are posted through the coordinator
+	// mailbox with prop propagation delay (the coordinator's
+	// conservative lookahead).  rx is then the receiver-owned cut gate.
+	post func(at sim.Time, fn func())
+	prop sim.Time
+	rx   *rxGate
 
 	// hook, when non-nil, injects faults into this wire's traffic.
 	hook FaultHook
@@ -185,6 +203,44 @@ func (w *wire) transmitNext() {
 	dropped := act.Drop || w.severed
 	if act.Drop && !w.severed {
 		w.emit(probe.Event{Kind: probe.FaultDrop, Ack: isCtl})
+	}
+	if w.post != nil {
+		// Cross-shard receiver: both callbacks travel through the
+		// mailbox, gated on the receiver-side cut flag (a cable cut is
+		// observed at the far end one propagation later; anything
+		// arriving after that is lost).  Packet completion keeps its
+		// exact wire timing — every frame lasts at least an
+		// acknowledge (2 bit times), which is precisely the
+		// coordinator's lookahead, so start+dur is always a legal
+		// cross-shard instant.  Only the reception-start signal (which
+		// fires the overlapped acknowledge) is deferred by the
+		// propagation delay.  Sender-side bookkeeping stays local.
+		start := w.k.Now()
+		rx := w.rx
+		if !dropped {
+			if ds := p.deliverStart; ds != nil {
+				w.post(start+w.prop, func() {
+					if !rx.severed {
+						ds()
+					}
+				})
+			}
+			if dv := p.deliver; dv != nil {
+				pp := p
+				w.post(start+sim.Time(dur), func() {
+					if !rx.severed {
+						dv(pp)
+					}
+				})
+			}
+		}
+		w.k.After(sim.Time(dur), func() {
+			if p.onTxEnd != nil {
+				p.onTxEnd()
+			}
+			w.transmitNext()
+		})
+		return
 	}
 	if !dropped && p.deliverStart != nil {
 		p.deliverStart()
@@ -264,7 +320,7 @@ type inHalf struct {
 // halves and four input halves.  Unconnected links never complete a
 // transfer, exactly like real hardware with nothing wired to the pins.
 type Engine struct {
-	k    *sim.Kernel
+	k    sim.Clock
 	m    *core.Machine
 	outs [core.NumLinks]*outHalf
 	ins  [core.NumLinks]*inHalf
@@ -273,8 +329,10 @@ type Engine struct {
 
 var _ core.External = (*Engine)(nil)
 
-// NewEngine builds a link engine for a machine and attaches it.
-func NewEngine(k *sim.Kernel, m *core.Machine) *Engine {
+// NewEngine builds a link engine for a machine and attaches it.  The
+// clock is the machine's own scheduling domain — a standalone kernel
+// or a coordinator shard.
+func NewEngine(k sim.Clock, m *core.Machine) *Engine {
 	e := &Engine{k: k, m: m}
 	for i := range e.outs {
 		e.outs[i] = &outHalf{eng: e, link: i}
@@ -303,10 +361,19 @@ func boolByte(b bool) int {
 }
 
 // Connect wires link la of engine a to link lb of engine b with a pair
-// of signal lines.
+// of signal lines.  Engines on the same clock domain get the
+// synchronous fast path; engines on different shards of one
+// coordinator get mailbox delivery with the coordinator's lookahead as
+// the wire's propagation delay.
 func Connect(a *Engine, la int, b *Engine, lb int) {
 	ab := &wire{k: a.k, bitNs: BitNs, owner: a, link: la}
 	ba := &wire{k: b.k, bitNs: BitNs, owner: b, link: lb}
+	if post, prop := sim.CrossPath(a.k, b.k); post != nil {
+		ab.post, ab.prop, ab.rx = post, prop, &rxGate{}
+	}
+	if post, prop := sim.CrossPath(b.k, a.k); post != nil {
+		ba.post, ba.prop, ba.rx = post, prop, &rxGate{}
+	}
 	a.outs[la].wire = ab
 	a.outs[la].peer = b.ins[lb]
 	a.ins[la].ackWire = ab
@@ -547,14 +614,36 @@ func (e *Engine) SetFaultHook(i int, h FaultHook) {
 
 // SeverLink cuts both signal lines of link i at the current instant:
 // nothing queued or in flight is delivered afterwards, exactly like a
-// cable pulled mid-run.
+// cable pulled mid-run.  When the link crosses shards, the cut is
+// observed at the far end one propagation delay later: this end's
+// outgoing wire and inbound gate die now, the peer's die at now+prop —
+// a packet already in flight may still land before the cut reaches it.
 func (e *Engine) SeverLink(i int) {
 	if !e.Connected(i) {
 		return
 	}
-	e.outs[i].wire.severed = true
-	if peer := e.ins[i].peerOut; peer != nil && peer.wire != nil {
-		peer.wire.severed = true
+	w := e.outs[i].wire
+	w.severed = true
+	peer := e.ins[i].peerOut
+	if w.post == nil {
+		if peer != nil && peer.wire != nil {
+			peer.wire.severed = true
+		}
+	} else {
+		// Inbound traffic stops being accepted here immediately; the
+		// peer's transmitter and its receive gate for our wire are cut
+		// when the break propagates.
+		if peer != nil && peer.wire != nil && peer.wire.rx != nil {
+			peer.wire.rx.severed = true
+		}
+		pw := peer
+		rx := w.rx
+		w.post(w.k.Now()+w.prop, func() {
+			if pw != nil && pw.wire != nil {
+				pw.wire.severed = true
+			}
+			rx.severed = true
+		})
 	}
 	if e.bus != nil {
 		e.emit(probe.Event{Kind: probe.LinkSever, Link: i})

@@ -1,6 +1,7 @@
 package network_test
 
 import (
+	"reflect"
 	"testing"
 
 	"transputer/internal/apps/dbsearch"
@@ -54,6 +55,37 @@ func TestDeterministicSieve(t *testing.T) {
 	t2, n2 := run()
 	if t1 != t2 || n1 != n2 {
 		t.Errorf("runs differ: %v/%d vs %v/%d", t1, n1, t2, n2)
+	}
+}
+
+// TestDeterministicAcrossWorkers runs the database-search grid at one
+// and four workers: the worker count must be invisible in the settle
+// time, the answers, and every aggregate counter including the
+// per-opcode histogram.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (sim.Time, []int64, interface{}) {
+		p := dbsearch.Params{Rows: 3, Cols: 3, RecordsPerNode: 60, KeySpace: 16, MemBytes: 64 * 1024}
+		s, err := dbsearch.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Net.SetWorkers(workers)
+		counts, rep := s.RunSearches([]int64{4, 9}, sim.Second)
+		if !rep.Settled {
+			t.Fatalf("workers=%d: did not settle", workers)
+		}
+		return rep.Time, counts, s.Net.TotalStats()
+	}
+	t1, c1, st1 := run(1)
+	t4, c4, st4 := run(4)
+	if t1 != t4 {
+		t.Errorf("simulated times differ: %v vs %v", t1, t4)
+	}
+	if !reflect.DeepEqual(c1, c4) {
+		t.Errorf("answers differ: %v vs %v", c1, c4)
+	}
+	if !reflect.DeepEqual(st1, st4) {
+		t.Errorf("total stats differ:\nworkers=1: %+v\nworkers=4: %+v", st1, st4)
 	}
 }
 

@@ -59,9 +59,11 @@ func (s *System) ApplyFaults(plan fault.Plan) error {
 				return fmt.Errorf("network: sever targets unwired link end %s.%d", n.Name, r.Link)
 			}
 			lnk := r.Link
-			s.Kernel.Schedule(r.At, func() { n.Engine.SeverLink(lnk) })
+			// Timed faults act on one node, so they live on that node's
+			// shard and fire in its deterministic event order.
+			n.shard.Schedule(r.At, func() { n.Engine.SeverLink(lnk) })
 		case fault.Halt:
-			s.Kernel.Schedule(r.At, func() {
+			n.shard.Schedule(r.At, func() {
 				n.M.ForceHalt("fault injection")
 				n.Engine.SeverAll()
 			})
@@ -143,7 +145,7 @@ func (r *WatchdogReport) String() string {
 // as a Deadlock event, so the verdict lands in timelines and metrics
 // alongside the traffic that led to it.
 func (s *System) Watchdog() *WatchdogReport {
-	rep := &WatchdogReport{Time: s.Kernel.Now()}
+	rep := &WatchdogReport{Time: s.Now()}
 	for _, n := range s.nodes {
 		if n.M.Halted() {
 			continue // a halt is its own verdict, not a deadlock

@@ -41,7 +41,7 @@ type Host struct {
 	// DoneAt is the simulated time of the exit command.
 	DoneAt sim.Time
 
-	k     *sim.Kernel
+	k     sim.Clock
 	input []int64 // words queued for HostCmdGetWord
 	bus   *probe.Bus
 }
@@ -58,7 +58,7 @@ func (h *Host) emit(cmd, arg int64) {
 	})
 }
 
-func newHost(k *sim.Kernel, n *Node, l int, w io.Writer) *Host {
+func newHost(k sim.Clock, n *Node, l int, w io.Writer) *Host {
 	h := &Host{
 		end:       link.NewHostEnd(k),
 		out:       w,

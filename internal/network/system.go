@@ -1,8 +1,11 @@
 // Package network builds systems of transputers: "a system is
 // constructed from a collection of transputers which operate
 // concurrently and communicate through the standard links" (paper,
-// 2.1).  It wires machines together with link engines, attaches host
-// devices, and drives everything from one deterministic event kernel.
+// 2.1).  It wires machines together with link engines and host
+// devices, and drives everything from a sharded deterministic
+// simulation engine: one event-queue shard per transputer, advanced in
+// conservative time windows by a coordinator (see internal/sim).  The
+// result is bit-for-bit identical for any worker count.
 package network
 
 import (
@@ -15,19 +18,47 @@ import (
 	"transputer/internal/sim"
 )
 
-// Node is one transputer in a system.
+// Lookahead is the conservative cross-shard latency: the shortest
+// packet a link can carry is an acknowledge (2 bit times at 100 ns),
+// so nothing one transputer does can affect another in less than
+// 200 ns.  It doubles as the propagation delay of cross-shard wires,
+// keeping the paper's streaming behaviour: an early acknowledge still
+// crosses back (200 ns out + 200 ns back + 200 ns ack frame = 600 ns)
+// well inside the 1100 ns data frame, so transmission stays
+// continuous.
+const Lookahead = sim.Time(link.AckBits * link.BitNs)
+
+// Node is one transputer in a system: a machine, its link engine, its
+// private event-queue shard, and a probe collector.
 type Node struct {
 	Name   string
 	M      *core.Machine
 	Engine *link.Engine
 	runner *core.Runner
+	shard  *sim.Shard
+	col    *collector
 	wired  [core.NumLinks]bool
 }
 
+// Clock returns the node's scheduling domain (its shard), for code
+// that needs to plant events in this node's timeline — the profiler's
+// sampling ticks, fault schedules, experiment harnesses.
+func (n *Node) Clock() *sim.Shard { return n.shard }
+
+// collector buffers one node's probe events during a window; the
+// coordinator's barrier callback merges all buffers in (time, node)
+// order and republishes them on the system bus, so observers see one
+// deterministic stream regardless of worker count.
+type collector struct {
+	bus  *probe.Bus // private per-node bus the machine and engine emit into
+	buf  []probe.Event
+	next int // merge cursor into buf
+}
+
 // System is a collection of transputers and host devices sharing a
-// simulation kernel.
+// sharded simulation coordinator.
 type System struct {
-	Kernel *sim.Kernel
+	coord  *sim.Coordinator
 	nodes  []*Node
 	byName map[string]*Node
 	hosts  []*Host
@@ -39,11 +70,24 @@ type System struct {
 
 // NewSystem returns an empty system.
 func NewSystem() *System {
-	return &System{Kernel: sim.NewKernel(), byName: make(map[string]*Node)}
+	s := &System{coord: sim.NewCoordinator(Lookahead), byName: make(map[string]*Node)}
+	s.coord.OnFlush(s.flushProbes)
+	return s
 }
 
-// AddTransputer creates a node.  The configuration's Name is replaced
-// by the node name.
+// SetWorkers sets how many OS threads execute shards inside each
+// simulation window.  Every value produces identical results; 1 (the
+// default) is fully sequential.
+func (s *System) SetWorkers(n int) { s.coord.SetWorkers(n) }
+
+// Workers reports the configured worker count.
+func (s *System) Workers() int { return s.coord.Workers() }
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Time { return s.coord.Now() }
+
+// AddTransputer creates a node on its own shard.  The configuration's
+// Name is replaced by the node name.
 func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 	if _, dup := s.byName[name]; dup {
 		return nil, fmt.Errorf("network: duplicate transputer name %q", name)
@@ -54,12 +98,12 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{Name: name, M: m}
-	n.runner = core.NewRunner(s.Kernel, m)
-	n.Engine = link.NewEngine(s.Kernel, m)
-	m.Attach(kernelClock{s.Kernel}, n.Engine)
+	n.shard = s.coord.NewShard()
+	n.runner = core.NewRunner(n.shard, m)
+	n.Engine = link.NewEngine(n.shard, m)
+	m.Attach(shardClock{n.shard}, n.Engine)
 	if s.bus != nil {
-		m.AttachProbe(s.bus)
-		n.Engine.AttachProbe(s.bus)
+		s.attachCollector(n)
 	}
 	if s.linkMode.Reliable {
 		n.Engine.SetReliable(true, s.linkMode.Timeout, s.linkMode.Retries)
@@ -70,25 +114,79 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 }
 
 // AttachProbe connects every machine, link engine and host in the
-// system — present and future — to a probe bus.  With no bus attached
-// (the default) the instrumented code paths reduce to one nil check.
+// system — present and future — to a probe bus.  Each node emits into
+// a private per-shard buffer; events reach the given bus merged in
+// (time, node) order at window barriers.  With no bus attached (the
+// default) the instrumented code paths reduce to one nil check.
 func (s *System) AttachProbe(b *probe.Bus) {
 	s.bus = b
 	for _, n := range s.nodes {
-		n.M.AttachProbe(b)
-		n.Engine.AttachProbe(b)
-	}
-	for _, h := range s.hosts {
-		h.bus = b
+		s.attachCollector(n)
 	}
 }
 
-// kernelClock adapts the kernel to core.Clock.
-type kernelClock struct{ k *sim.Kernel }
+// attachCollector gives the node a private probe bus feeding its
+// window buffer, and rewires any host on the node to it.
+func (s *System) attachCollector(n *Node) {
+	if n.col != nil {
+		return
+	}
+	col := &collector{bus: probe.NewBus()}
+	col.bus.Subscribe(func(ev probe.Event) { col.buf = append(col.buf, ev) })
+	n.col = col
+	n.M.AttachProbe(col.bus)
+	n.Engine.AttachProbe(col.bus)
+	for _, h := range s.hosts {
+		if h.node == n {
+			h.bus = col.bus
+		}
+	}
+}
 
-func (c kernelClock) Now() sim.Time                        { return c.k.Now() }
-func (c kernelClock) At(t sim.Time, fn func()) sim.EventID { return c.k.Schedule(t, fn) }
-func (c kernelClock) Cancel(id sim.EventID)                { c.k.Cancel(id) }
+// flushProbes is the coordinator's barrier callback: it merges every
+// node's buffered events with time below upTo (everything, on the
+// final flush) and publishes them to the system bus.  Ties are broken
+// by node creation order, a rule independent of execution
+// interleaving.
+func (s *System) flushProbes(upTo sim.Time, final bool) {
+	if s.bus == nil {
+		return
+	}
+	for {
+		var best *collector
+		for _, n := range s.nodes {
+			c := n.col
+			if c == nil || c.next >= len(c.buf) {
+				continue
+			}
+			ev := c.buf[c.next]
+			if !final && ev.Time >= upTo {
+				continue
+			}
+			if best == nil || ev.Time < best.buf[best.next].Time {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		s.bus.Publish(best.buf[best.next])
+		best.next++
+	}
+	for _, n := range s.nodes {
+		if c := n.col; c != nil && c.next == len(c.buf) {
+			c.buf = c.buf[:0]
+			c.next = 0
+		}
+	}
+}
+
+// shardClock adapts a shard to core.Clock.
+type shardClock struct{ s *sim.Shard }
+
+func (c shardClock) Now() sim.Time                        { return c.s.Now() }
+func (c shardClock) At(t sim.Time, fn func()) sim.EventID { return c.s.Schedule(t, fn) }
+func (c shardClock) Cancel(id sim.EventID)                { c.s.Cancel(id) }
 
 // MustAddTransputer is AddTransputer for known-good configurations.
 func (s *System) MustAddTransputer(name string, cfg core.Config) *Node {
@@ -136,7 +234,8 @@ func (s *System) MustConnect(a *Node, la int, b *Node, lb int) {
 }
 
 // AttachHost wires a host device to link l of the node, writing
-// program output to w (which may be nil).
+// program output to w (which may be nil).  The host lives on the
+// node's shard, so its traffic takes the synchronous fast path.
 func (s *System) AttachHost(n *Node, l int, w io.Writer) (*Host, error) {
 	if l < 0 || l >= core.NumLinks {
 		return nil, fmt.Errorf("network: link index %d out of range", l)
@@ -144,8 +243,10 @@ func (s *System) AttachHost(n *Node, l int, w io.Writer) (*Host, error) {
 	if n.wired[l] {
 		return nil, fmt.Errorf("network: %s link %d already connected", n.Name, l)
 	}
-	h := newHost(s.Kernel, n, l, w)
-	h.bus = s.bus
+	h := newHost(n.shard, n, l, w)
+	if n.col != nil {
+		h.bus = n.col.bus
+	}
 	if s.linkMode.Reliable {
 		h.end.SetReliable(true, s.linkMode.Timeout, s.linkMode.Retries)
 	}
@@ -160,7 +261,7 @@ func (n *Node) Load(img core.Image) error { return n.M.Load(img) }
 // Report describes the outcome of a run.
 type Report struct {
 	Time    sim.Time
-	Settled bool // event queue drained before the limit
+	Settled bool // event queues drained before the limit
 	// Running lists nodes that still had an executing process when the
 	// run stopped (only possible when !Settled).
 	Running []string
@@ -172,23 +273,23 @@ type Report struct {
 	Blocked []string
 }
 
-// Run starts every node and drives the kernel until it drains or the
-// limit passes (limit 0 means run to quiescence).  A settled system
-// with processes still blocked on channels is deadlocked, which the
-// caller can detect from its own completion signal (e.g. the host exit
-// command).
+// Run starts every node and drives the coordinator until every shard
+// drains or the limit passes (limit 0 means run to quiescence).  A
+// settled system with processes still blocked on channels is
+// deadlocked, which the caller can detect from its own completion
+// signal (e.g. the host exit command).
 func (s *System) Run(limit sim.Time) Report {
 	for _, n := range s.nodes {
 		n.runner.Start()
 	}
 	var rep Report
 	if limit > 0 {
-		rep.Settled = s.Kernel.RunUntil(limit)
+		rep.Settled = s.coord.RunUntil(limit)
 	} else {
-		s.Kernel.Run()
+		s.coord.Run()
 		rep.Settled = true
 	}
-	rep.Time = s.Kernel.Now()
+	rep.Time = s.Now()
 	for _, n := range s.nodes {
 		switch {
 		case n.M.Halted():
@@ -206,22 +307,7 @@ func (s *System) Run(limit sim.Time) Report {
 func (s *System) TotalStats() core.Stats {
 	var total core.Stats
 	for _, n := range s.nodes {
-		st := n.M.Stats()
-		total.Instructions += st.Instructions
-		total.InstructionBytes += st.InstructionBytes
-		total.SingleByte += st.SingleByte
-		total.Cycles += st.Cycles
-		total.Enqueues += st.Enqueues
-		total.Deschedules += st.Deschedules
-		total.Preemptions += st.Preemptions
-		total.Timeslices += st.Timeslices
-		total.MessagesIn += st.MessagesIn
-		total.MessagesOut += st.MessagesOut
-		total.BytesIn += st.BytesIn
-		total.BytesOut += st.BytesOut
-		total.ExternalIn += st.ExternalIn
-		total.ExternalOut += st.ExternalOut
-		total.CodeBytes += st.CodeBytes
+		total.Add(n.M.Stats())
 	}
 	return total
 }
@@ -229,7 +315,7 @@ func (s *System) TotalStats() core.Stats {
 // Continue resumes a previously run system for another bounded slice.
 func (s *System) Continue(until sim.Time) Report {
 	var rep Report
-	rep.Settled = s.Kernel.RunUntil(until)
-	rep.Time = s.Kernel.Now()
+	rep.Settled = s.coord.RunUntil(until)
+	rep.Time = s.Now()
 	return rep
 }

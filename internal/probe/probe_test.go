@@ -127,9 +127,9 @@ func TestMetricsBusyAndQueues(t *testing.T) {
 // the rest of the system drains, so runs still end.
 func TestSamplerQuiesces(t *testing.T) {
 	k := sim.NewKernel()
-	s := NewSampler(k, sim.Microsecond)
+	s := NewSampler(sim.Microsecond)
 	running := true
-	tgt := s.AddTarget("m", func() (uint64, bool) {
+	tgt := s.AddTarget("m", k, func() (uint64, bool) {
 		if running {
 			return 0x80000040, true
 		}

@@ -10,12 +10,23 @@ import (
 	"transputer/internal/sim"
 )
 
+// SampleClock is what a sampling tick needs from a target's scheduling
+// domain: a way to plant the next tick and a local quiescence test.
+// Both a standalone *sim.Kernel and a coordinator *sim.Shard satisfy
+// it.  Pending deliberately reflects only the target's own shard —
+// consulting global state from inside a window would make sampling
+// depend on how far other shards had progressed.
+type SampleClock interface {
+	After(d sim.Time, fn func()) sim.EventID
+	Pending() int
+}
+
 // Sampler is a sampling profiler: every Period of simulated time it
 // reads each target's instruction pointer and accumulates a histogram.
-// Sampling rides the same event kernel as the machines, so it is exact
-// in simulated time and adds nothing to the simulated cycle counts.
+// Each target's ticks ride that target's own event shard, so sampling
+// is exact in simulated time, adds nothing to the simulated cycle
+// counts, and stays deterministic at any worker count.
 type Sampler struct {
-	k       *sim.Kernel
 	Period  sim.Time
 	targets []*Target
 	started bool
@@ -26,6 +37,7 @@ type Sampler struct {
 type Target struct {
 	Name   string
 	Sample func() (addr uint64, ok bool)
+	clk    SampleClock
 
 	// Counts maps sampled instruction addresses to hit counts.
 	Counts map[uint64]uint64
@@ -34,17 +46,17 @@ type Target struct {
 	Running, Idle uint64
 }
 
-// NewSampler builds a profiler on the kernel with the given period.
-func NewSampler(k *sim.Kernel, period sim.Time) *Sampler {
+// NewSampler builds a profiler with the given period.
+func NewSampler(period sim.Time) *Sampler {
 	if period <= 0 {
 		period = 10 * sim.Microsecond
 	}
-	return &Sampler{k: k, Period: period}
+	return &Sampler{Period: period}
 }
 
-// AddTarget registers a machine to sample.
-func (s *Sampler) AddTarget(name string, sample func() (uint64, bool)) *Target {
-	t := &Target{Name: name, Sample: sample, Counts: map[uint64]uint64{}}
+// AddTarget registers a machine to sample on its clock (its shard).
+func (s *Sampler) AddTarget(name string, clk SampleClock, sample func() (uint64, bool)) *Target {
+	t := &Target{Name: name, Sample: sample, clk: clk, Counts: map[uint64]uint64{}}
 	s.targets = append(s.targets, t)
 	return t
 }
@@ -52,30 +64,30 @@ func (s *Sampler) AddTarget(name string, sample func() (uint64, bool)) *Target {
 // Targets returns the registered targets.
 func (s *Sampler) Targets() []*Target { return s.targets }
 
-// Start schedules the first sample one period from now.  The sampler
-// stops rescheduling itself once it is the only activity left in the
-// kernel, so runs still quiesce.
+// Start schedules each target's first sample one period from now.  A
+// target stops rescheduling itself once it is the only activity left
+// on its shard, so runs still quiesce.
 func (s *Sampler) Start() {
-	if s.started || len(s.targets) == 0 {
+	if s.started {
 		return
 	}
 	s.started = true
-	s.k.After(s.Period, s.tick)
+	for _, t := range s.targets {
+		t.clk.After(s.Period, func() { s.tick(t) })
+	}
 }
 
-func (s *Sampler) tick() {
-	for _, t := range s.targets {
-		if addr, ok := t.Sample(); ok {
-			t.Counts[addr]++
-			t.Running++
-		} else {
-			t.Idle++
-		}
+func (s *Sampler) tick(t *Target) {
+	if addr, ok := t.Sample(); ok {
+		t.Counts[addr]++
+		t.Running++
+	} else {
+		t.Idle++
 	}
-	if s.k.Pending() == 0 {
-		return // everything else has quiesced; let the run end
+	if t.clk.Pending() == 0 {
+		return // everything else on this shard has quiesced; let the run end
 	}
-	s.k.After(s.Period, s.tick)
+	t.clk.After(s.Period, func() { s.tick(t) })
 }
 
 // Mark maps a code byte offset to a source line; marks are sorted by

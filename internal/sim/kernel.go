@@ -35,9 +35,23 @@ func (t Time) String() string {
 	}
 }
 
+// MaxTime is the latest representable instant; Horizon returns it for a
+// kernel that is not bounded by a coordinator window.
+const MaxTime = Time(1<<63 - 1)
+
 // EventID identifies a scheduled event so it can be cancelled.  The zero
 // value is never a valid ID.
 type EventID uint64
+
+// Clock is the scheduling interface shared by a standalone Kernel and a
+// coordinator Shard; machines, link engines and hosts are written
+// against it so the same wiring runs single-queue or sharded.
+type Clock interface {
+	Now() Time
+	Schedule(at Time, fn func()) EventID
+	After(d Time, fn func()) EventID
+	Cancel(id EventID)
+}
 
 type event struct {
 	at  Time
@@ -47,7 +61,9 @@ type event struct {
 }
 
 // Kernel is a time-ordered event queue.  It is not safe for concurrent
-// use; the whole simulation is single-threaded and deterministic.
+// use by itself; a Coordinator runs disjoint kernels on parallel
+// goroutines, but each individual kernel is only ever touched by one
+// goroutine at a time.
 type Kernel struct {
 	now       Time
 	heap      []event
@@ -56,6 +72,22 @@ type Kernel struct {
 	pending   map[EventID]bool // in the heap and not cancelled
 	cancelled map[EventID]bool // in the heap but cancelled
 	live      int              // len(pending)
+
+	// offset is a virtual-time displacement added to Now: a batched
+	// instruction runner advances it between kernel events so that
+	// everything executed mid-batch (probe stamps, timer arithmetic,
+	// new events) sees time move exactly as if each instruction had
+	// been its own event.
+	offset Time
+
+	// stamp increments on every Schedule and Cancel, letting a batch
+	// runner cheaply detect that its cached execution bound is stale.
+	stamp uint64
+
+	// horizon is the exclusive execution bound: MaxTime normally, or
+	// limit+1 while RunUntil is in progress so batch runners stop at
+	// the limit instead of free-running past it.
+	horizon Time
 }
 
 // NewKernel returns a kernel at time zero.
@@ -64,20 +96,46 @@ func NewKernel() *Kernel {
 		pending:   make(map[EventID]bool),
 		cancelled: make(map[EventID]bool),
 		nextID:    1,
+		horizon:   MaxTime,
 	}
 }
 
-// Now returns the current simulated time.
-func (k *Kernel) Now() Time { return k.now }
+// Now returns the current simulated time (including any virtual-time
+// offset a batch runner has applied).
+func (k *Kernel) Now() Time { return k.now + k.offset }
+
+// SetOffset sets the virtual-time displacement added to Now.  Batch
+// runners raise it as they execute instructions between kernel events
+// and must restore it to zero before returning to the event loop.
+func (k *Kernel) SetOffset(d Time) { k.offset = d }
+
+// Stamp returns a counter that changes whenever the schedule changes
+// (an event scheduled or cancelled); batch runners use it to know when
+// a cached execution bound must be recomputed.
+func (k *Kernel) Stamp() uint64 { return k.stamp }
 
 // Pending reports the number of scheduled, uncancelled events.
 func (k *Kernel) Pending() int { return k.live }
 
+// NextTime reports the time of the earliest pending event.
+func (k *Kernel) NextTime() (Time, bool) {
+	e, ok := k.peek()
+	if !ok {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// Horizon is the exclusive bound events may run to: MaxTime for a
+// free-running kernel, limit+1 during RunUntil.  (A coordinator Shard
+// overrides this with its current window horizon.)
+func (k *Kernel) Horizon() Time { return k.horizon }
+
 // Schedule runs fn at the given absolute time, which must not be in the
 // past.  It returns an ID that can be passed to Cancel.
 func (k *Kernel) Schedule(at Time, fn func()) EventID {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	if at < k.now+k.offset {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now+k.offset))
 	}
 	id := k.nextID
 	k.nextID++
@@ -85,12 +143,13 @@ func (k *Kernel) Schedule(at Time, fn func()) EventID {
 	k.nextSeq++
 	k.pending[id] = true
 	k.live++
+	k.stamp++
 	return id
 }
 
-// After schedules fn after a delay from the current time.
+// After schedules fn after a delay from the current (virtual) time.
 func (k *Kernel) After(d Time, fn func()) EventID {
-	return k.Schedule(k.now+d, fn)
+	return k.Schedule(k.now+k.offset+d, fn)
 }
 
 // Cancel prevents a scheduled event from firing.  Cancelling an event
@@ -102,6 +161,7 @@ func (k *Kernel) Cancel(id EventID) {
 	delete(k.pending, id)
 	k.cancelled[id] = true
 	k.live--
+	k.stamp++
 }
 
 // Step fires the next event.  It reports false when the queue is empty.
@@ -131,6 +191,10 @@ func (k *Kernel) Run() Time {
 // RunUntil fires events with time <= limit.  It returns true if the
 // queue drained before the limit.
 func (k *Kernel) RunUntil(limit Time) bool {
+	if limit < MaxTime {
+		k.horizon = limit + 1
+		defer func() { k.horizon = MaxTime }()
+	}
 	for {
 		e, ok := k.peek()
 		if !ok {
@@ -143,6 +207,33 @@ func (k *Kernel) RunUntil(limit Time) bool {
 			return false
 		}
 		k.Step()
+	}
+}
+
+// RunBefore fires events with time strictly less than the horizon —
+// one coordinator window.  Unlike RunUntil it does not advance the
+// clock to the bound: the kernel stays at its last-fired event so the
+// next window can begin wherever this shard's activity actually is.
+func (k *Kernel) RunBefore(horizon Time) {
+	for {
+		e, ok := k.peek()
+		if !ok || e.at >= horizon {
+			return
+		}
+		k.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without firing anything; the
+// coordinator uses it to bring every shard to the common limit of a
+// bounded run, mirroring RunUntil's behaviour on a lone kernel.  It
+// panics if an event earlier than t is still pending.
+func (k *Kernel) AdvanceTo(t Time) {
+	if e, ok := k.peek(); ok && e.at < t {
+		panic(fmt.Sprintf("sim: advance to %v past pending event at %v", t, e.at))
+	}
+	if k.now < t {
+		k.now = t
 	}
 }
 

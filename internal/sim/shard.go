@@ -1,0 +1,496 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the sharded parallel engine: per-shard event
+// kernels advanced in bounded windows by a coordinator, with
+// conservative Chandy–Misra-style synchronisation and no null
+// messages.
+//
+// Every cross-shard interaction has a minimum latency (for transputer
+// links, the shortest packet's wire time), so an event posted by shard
+// A while executing at time T cannot be due at another shard before
+// T + lookahead.  The coordinator therefore lets each shard run
+// independently up to a per-shard horizon
+//
+//	horizon(s) = lookahead + min over r != s of nextEvent(r)
+//
+// (no other shard can cause anything in s before that), then meets all
+// shards at a barrier, releases the cross-shard mailbox in a canonical
+// order, and opens the next window.  Shard execution inside a window
+// is pure single-threaded event processing, so results are bit-for-bit
+// identical whether windows run on one worker or many.
+
+// crossEvent is one mailbox entry: an event produced by shard src
+// while executing a window, due on shard dst at time at.  Entries are
+// released at the barrier sorted by (at, src, seq) — a total order
+// that no amount of worker parallelism can perturb.
+type crossEvent struct {
+	at  Time
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// Coordinator advances a set of shards in conservative time windows.
+type Coordinator struct {
+	lookahead Time
+	shards    []*Shard
+	workers   int
+
+	mu sync.Mutex
+	xq []crossEvent
+
+	// now is the global low-water mark: the limit of the last bounded
+	// run, so an empty system still reports time correctly.
+	now Time
+
+	// onFlush, when set, is called at every barrier with the time below
+	// which no further events can occur; observers use it to merge and
+	// release per-shard probe buffers in deterministic order.
+	onFlush func(upTo Time, final bool)
+
+	// Window dispatch state (see runWindow).  claim packs the current
+	// window's epoch, shard count and next-unclaimed index into one
+	// word, so helpers can take work with a single compare-and-swap
+	// and a stale helper can never claim into the wrong window: the
+	// epoch bits make every cross-window CAS fail.
+	claim    atomic.Uint64
+	active   []*Shard
+	tokenCh  chan struct{}
+	sleepers atomic.Int32
+	helpers  int
+	windowWg sync.WaitGroup
+}
+
+// claim-word layout: epoch(32) | len(16) | idx(16).
+const (
+	claimEpochShift = 32
+	claimLenShift   = 16
+	claimMask       = 0xffff
+)
+
+// NewCoordinator builds a coordinator whose conservative lookahead is
+// the given minimum cross-shard event latency.
+func NewCoordinator(lookahead Time) *Coordinator {
+	if lookahead <= 0 {
+		panic("sim: coordinator lookahead must be positive")
+	}
+	return &Coordinator{lookahead: lookahead, workers: 1}
+}
+
+// Lookahead returns the coordinator's window lookahead.
+func (c *Coordinator) Lookahead() Time { return c.lookahead }
+
+// SetWorkers sets how many OS goroutines execute shards inside each
+// window.  The result is identical for every value; only wall-clock
+// time changes.  Values below 1 select 1.
+func (c *Coordinator) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.workers = n
+}
+
+// Workers returns the configured worker count.
+func (c *Coordinator) Workers() int { return c.workers }
+
+// OnFlush registers the barrier callback (see Coordinator doc).  Only
+// one callback is supported; registering replaces the previous one.
+func (c *Coordinator) OnFlush(fn func(upTo Time, final bool)) { c.onFlush = fn }
+
+// NewShard adds a shard and returns it.
+func (c *Coordinator) NewShard() *Shard {
+	s := &Shard{c: c, id: len(c.shards), k: NewKernel()}
+	c.shards = append(c.shards, s)
+	return s
+}
+
+// Shards returns the shards in creation order.
+func (c *Coordinator) Shards() []*Shard { return c.shards }
+
+// Now returns the global simulated time: the furthest any shard has
+// executed (or the limit of the last bounded run if later).
+func (c *Coordinator) Now() Time {
+	t := c.now
+	for _, s := range c.shards {
+		if n := s.k.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// drain releases the cross-shard mailbox into the destination kernels
+// in (at, src, seq) order.  Called between windows only.
+func (c *Coordinator) drain() {
+	c.mu.Lock()
+	q := c.xq
+	c.xq = nil
+	c.mu.Unlock()
+	if len(q) == 0 {
+		return
+	}
+	// Insertion sort: the mailbox is tiny (a window's worth of link
+	// packets) and often nearly ordered.
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && crossLess(q[j], q[j-1]); j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+	for _, e := range q {
+		c.shards[e.dst].k.Schedule(e.at, e.fn)
+	}
+}
+
+func crossLess(a, b crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// flush invokes the barrier callback.
+func (c *Coordinator) flush(upTo Time, final bool) {
+	if c.onFlush != nil {
+		c.onFlush(upTo, final)
+	}
+}
+
+// Run fires events until every shard's queue (and the mailbox) drains,
+// and returns the final time.
+func (c *Coordinator) Run() Time {
+	c.run(MaxTime, false)
+	return c.Now()
+}
+
+// RunUntil fires events with time <= limit.  It returns true if the
+// system drained before the limit; otherwise every shard's clock is
+// advanced to the limit (matching Kernel.RunUntil on a lone kernel).
+func (c *Coordinator) RunUntil(limit Time) bool {
+	return c.run(limit, true)
+}
+
+func (c *Coordinator) run(limit Time, bounded bool) bool {
+	stop := c.startPool()
+	defer stop()
+	for {
+		c.drain()
+		// min1/min2: the two earliest next-event times across shards,
+		// for the per-shard horizon rule.
+		min1, min2 := MaxTime, MaxTime
+		owner := -1
+		for _, s := range c.shards {
+			t, ok := s.k.NextTime()
+			if !ok {
+				continue
+			}
+			if t < min1 {
+				min1, min2 = t, min1
+				owner = s.id
+			} else if t < min2 {
+				min2 = t
+			}
+		}
+		if min1 == MaxTime {
+			c.flush(MaxTime, true)
+			return true
+		}
+		c.flush(min1, false)
+		if bounded && min1 > limit {
+			for _, s := range c.shards {
+				s.k.AdvanceTo(limit)
+			}
+			if c.now < limit {
+				c.now = limit
+			}
+			return false
+		}
+		active := c.shards[:0:0]
+		for _, s := range c.shards {
+			// The sound window: a shard may run only to the earliest
+			// instant any cross-shard event could reach it.  Posts made
+			// this window are due no earlier than min1+lookahead (every
+			// fired event is at >= min1), and a peer cannot react to a
+			// post before the next barrier, so everyone may run to
+			// min1+lookahead.  The min1 owner alone gets more: events
+			// addressed to it come from shards whose own events are at
+			// >= min2, so it may run to min(min2, min1+lookahead) +
+			// lookahead.  A lone shard has no one to hear from at all.
+			var hzn Time
+			switch {
+			case len(c.shards) == 1:
+				hzn = MaxTime
+			case s.id == owner:
+				h2 := min2
+				if h2 > min1+c.lookahead {
+					h2 = min1 + c.lookahead
+				}
+				hzn = h2 + c.lookahead
+			default:
+				hzn = min1 + c.lookahead
+			}
+			if bounded && hzn > limit+1 {
+				hzn = limit + 1
+			}
+			s.hzn = hzn
+			if t, ok := s.k.NextTime(); ok && t < hzn {
+				active = append(active, s)
+			}
+		}
+		c.runWindow(active)
+	}
+}
+
+// startPool launches the helper goroutines for a run.  With one worker
+// (or one shard) no goroutines are started and windows run inline.
+// The coordinator itself executes shards too, so a run uses workers-1
+// helpers: on a machine with nothing to run them on, the coordinator
+// simply claims every shard itself and a window costs a handful of
+// atomic operations more than sequential execution.
+func (c *Coordinator) startPool() (stop func()) {
+	n := c.workers
+	if n > len(c.shards) {
+		n = len(c.shards)
+	}
+	if n <= 1 {
+		return func() {}
+	}
+	c.helpers = n - 1
+	c.tokenCh = make(chan struct{}, c.helpers)
+	var alive sync.WaitGroup
+	alive.Add(c.helpers)
+	for i := 0; i < c.helpers; i++ {
+		go func() {
+			defer alive.Done()
+			c.helperLoop()
+		}()
+	}
+	ch := c.tokenCh
+	return func() {
+		close(ch)
+		alive.Wait()
+		c.tokenCh = nil
+		c.helpers = 0
+	}
+}
+
+// helperLoop claims shards whenever a window is open.  Between windows
+// a helper spins briefly on the claim word (windows are short, often
+// only a few hundred simulated nanoseconds apart), then parks on the
+// token channel until the coordinator wakes it or the run ends.
+func (c *Coordinator) helperLoop() {
+	const spinBudget = 1 << 12
+	spins := 0
+	for {
+		if c.tryClaim() {
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < spinBudget {
+			if spins%64 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Park.  Re-check after registering as a sleeper so a window
+		// opened concurrently cannot be missed: the coordinator reads
+		// sleepers after publishing the claim word.
+		c.sleepers.Add(1)
+		if c.tryClaim() {
+			c.sleepers.Add(-1)
+			spins = 0
+			continue
+		}
+		_, ok := <-c.tokenCh
+		c.sleepers.Add(-1)
+		if !ok {
+			return
+		}
+		spins = 0
+	}
+}
+
+// tryClaim takes one shard of the current window, if any remains, and
+// runs it.  The epoch bits in the claim word pin the coordinator: a
+// successful CAS means the window it belongs to is still open (the
+// coordinator cannot pass the barrier until every claimed shard is
+// done), so c.active is stable and safe to read.
+func (c *Coordinator) tryClaim() bool {
+	for {
+		cur := c.claim.Load()
+		idx := cur & claimMask
+		if idx >= (cur>>claimLenShift)&claimMask {
+			return false
+		}
+		if !c.claim.CompareAndSwap(cur, cur+1) {
+			continue
+		}
+		s := c.active[idx]
+		s.k.RunBefore(s.hzn)
+		c.windowWg.Done()
+		return true
+	}
+}
+
+// runWindow executes one window: every active shard runs its events
+// strictly before its horizon.  The barrier (WaitGroup) makes all
+// shard work of this window happen-before the coordinator resumes.
+func (c *Coordinator) runWindow(active []*Shard) {
+	if c.tokenCh == nil || len(active) == 1 {
+		for _, s := range active {
+			s.k.RunBefore(s.hzn)
+		}
+		return
+	}
+	if len(active) > claimMask {
+		panic("sim: too many shards in one window")
+	}
+	// Publish the window.  The WaitGroup is armed before the claim
+	// word: a helper that claims the first shard instantly must find
+	// the barrier already counting it.
+	c.active = active
+	c.windowWg.Add(len(active))
+	epoch := (c.claim.Load() >> claimEpochShift) + 1
+	c.claim.Store(epoch<<claimEpochShift | uint64(len(active))<<claimLenShift)
+	if c.sleepers.Load() > 0 {
+		// Wake parked helpers, at most one per remaining shard.
+		for i := 0; i < c.helpers && i < len(active)-1; i++ {
+			select {
+			case c.tokenCh <- struct{}{}:
+			default:
+				i = c.helpers // buffer full: every helper already has a wakeup pending
+			}
+		}
+	}
+	// The coordinator works the window too, then waits out the stragglers.
+	for c.tryClaim() {
+	}
+	c.windowWg.Wait()
+}
+
+// post appends a cross-shard event to the mailbox.  Safe to call from
+// any shard goroutine during a window.
+func (c *Coordinator) post(src, dst *Shard, at Time, fn func()) {
+	seq := atomic.AddUint64(&src.xseq, 1)
+	c.mu.Lock()
+	c.xq = append(c.xq, crossEvent{at: at, src: src.id, seq: seq, dst: dst.id, fn: fn})
+	c.mu.Unlock()
+}
+
+// shardIDShift places the owning shard (plus one) in the top bits of
+// an EventID, so a handle can be routed back to the kernel that issued
+// it even when it crosses shards.
+const shardIDShift = 48
+
+// Shard is one partition of the simulation: a kernel plus its window
+// horizon.  It implements the same Clock interface as a Kernel, and
+// additionally the batch-driver surface (NextTime, Horizon, SetOffset,
+// Stamp) used by instruction runners.
+type Shard struct {
+	c    *Coordinator
+	id   int
+	k    *Kernel
+	hzn  Time
+	xseq uint64
+}
+
+// ID returns the shard's index within its coordinator.
+func (s *Shard) ID() int { return s.id }
+
+// Coordinator returns the owning coordinator.
+func (s *Shard) Coordinator() *Coordinator { return s.c }
+
+// Now returns the shard's current (virtual) time.
+func (s *Shard) Now() Time { return s.k.Now() }
+
+// Pending reports the number of scheduled, uncancelled events on this
+// shard.  It deliberately ignores the coordinator mailbox: the answer
+// must not depend on how far other shards have progressed inside the
+// current window.
+func (s *Shard) Pending() int { return s.k.Pending() }
+
+// Schedule runs fn at the given time on this shard.  The returned ID
+// carries the shard's identity, so it can be cancelled from anywhere.
+func (s *Shard) Schedule(at Time, fn func()) EventID {
+	return s.tag(s.k.Schedule(at, fn))
+}
+
+// After schedules fn after a delay from the shard's current time.
+func (s *Shard) After(d Time, fn func()) EventID {
+	return s.tag(s.k.After(d, fn))
+}
+
+// Cancel prevents a scheduled event from firing.  An event owned by
+// another shard cannot be revoked retroactively: the cancellation is
+// posted through the mailbox and takes effect at the next window
+// barrier at least one lookahead ahead — if the event fires first, the
+// cancel is a no-op, exactly like any cross-shard signal.
+func (s *Shard) Cancel(id EventID) {
+	owner := int(id>>shardIDShift) - 1
+	raw := id & (1<<shardIDShift - 1)
+	switch {
+	case owner < 0 || owner >= len(s.c.shards):
+		panic(fmt.Sprintf("sim: cancel of foreign event id %#x", uint64(id)))
+	case owner == s.id:
+		s.k.Cancel(raw)
+	default:
+		dst := s.c.shards[owner]
+		s.c.post(s, dst, s.Now()+s.c.lookahead, func() { dst.k.Cancel(raw) })
+	}
+}
+
+func (s *Shard) tag(id EventID) EventID {
+	return id | EventID(s.id+1)<<shardIDShift
+}
+
+// NextTime reports the earliest pending event on this shard.
+func (s *Shard) NextTime() (Time, bool) { return s.k.NextTime() }
+
+// Horizon is the exclusive bound of the shard's current window.
+func (s *Shard) Horizon() Time { return s.hzn }
+
+// SetOffset sets the shard kernel's virtual-time displacement.
+func (s *Shard) SetOffset(d Time) { s.k.SetOffset(d) }
+
+// Stamp mirrors Kernel.Stamp for batch runners.
+func (s *Shard) Stamp() uint64 { return s.k.Stamp() }
+
+// AdvanceTo moves the shard clock forward without firing anything; a
+// batch runner uses it so the clock ends at the last executed
+// instruction, exactly where one-event-per-instruction stepping would
+// have left it.
+func (s *Shard) AdvanceTo(t Time) { s.k.AdvanceTo(t) }
+
+// Post delivers fn to another shard at the given absolute time, which
+// must be at least one lookahead in this shard's future — the
+// conservative contract the whole engine rests on.
+func (s *Shard) Post(dst *Shard, at Time, fn func()) {
+	s.c.post(s, dst, at, fn)
+}
+
+// CrossPath reports how scheduled work travels from src's clock domain
+// to dst's.  For clocks in the same domain (the same shard, or both
+// plain kernels) it returns a nil post function and zero latency: the
+// caller should schedule directly, today's fast path.  For two shards
+// of one coordinator it returns a mailbox post function and the
+// coordinator's lookahead, the minimum latency every cross-shard event
+// must respect.
+func CrossPath(src, dst Clock) (post func(at Time, fn func()), latency Time) {
+	ss, ok1 := src.(*Shard)
+	ds, ok2 := dst.(*Shard)
+	if !ok1 || !ok2 || ss == ds || ss.c != ds.c {
+		return nil, 0
+	}
+	return func(at Time, fn func()) { ss.Post(ds, at, fn) }, ss.c.lookahead
+}

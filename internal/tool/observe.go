@@ -67,7 +67,7 @@ func (o *Observer) EnableMetrics() {
 // are registered with AddProfileTarget.
 func (o *Observer) EnableProfile(path string, period sim.Time) {
 	o.profilePath = path
-	o.sampler = probe.NewSampler(o.sys.Kernel, period)
+	o.sampler = probe.NewSampler(period)
 }
 
 // AddProfileTarget registers a node for sampling.  The image supplies
@@ -79,7 +79,7 @@ func (o *Observer) AddProfileTarget(n *network.Node, img core.Image, srcPath str
 		return
 	}
 	m := n.M
-	t := o.sampler.AddTarget(n.Name, func() (uint64, bool) {
+	t := o.sampler.AddTarget(n.Name, n.Clock(), func() (uint64, bool) {
 		if m.Idle() {
 			return 0, false
 		}

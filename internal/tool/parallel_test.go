@@ -1,0 +1,132 @@
+package tool
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"transputer/internal/apps/sieve"
+	"transputer/internal/sim"
+)
+
+// The parallel engine's contract is that worker count is invisible:
+// the same build produces byte-identical observable output whether
+// windows run on one goroutine or many.  These tests pin that for the
+// shipped examples — the sieve pipeline (examples/pipeline), the
+// seeded lossy-link fault campaign, and the severed-ring deadlock
+// campaign with its watchdog report.
+
+// netOutput is everything observable from one run: the exported
+// timeline bytes, the stats/metrics/watchdog text, and the settle
+// time.
+type netOutput struct {
+	time     sim.Time
+	timeline []byte
+	text     string
+}
+
+// runExampleNet loads a topology file, runs it with the given worker
+// count and full observability attached, and captures every output.
+func runExampleNet(t *testing.T, path, tlPath string, workers int) netOutput {
+	t.Helper()
+	var hostOut bytes.Buffer
+	net, err := LoadNetworkFile(path, &hostOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.System
+	s.SetWorkers(workers)
+	obs := NewObserver(s)
+	obs.EnableTimeline(tlPath)
+	obs.EnableMetrics()
+	obs.Start()
+	rep := s.Run(net.Limit)
+
+	var text bytes.Buffer
+	fmt.Fprintf(&text, "settled=%v time=%v halted=%v blocked=%v\n",
+		rep.Settled, rep.Time, rep.Halted, rep.Blocked)
+	text.Write(hostOut.Bytes())
+	if wd := s.Watchdog(); wd != nil {
+		PrintWatchdog(&text, wd, LineResolver(net.Programs))
+	}
+	for _, n := range s.Nodes() {
+		PrintStats(&text, n.Name, n.M.Stats(), n.M.Config().CycleNs)
+		PrintLinkStats(&text, n)
+	}
+	if err := obs.Finish(rep.Time, &text); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netOutput{time: rep.Time, timeline: tl, text: text.String()}
+}
+
+func assertIdenticalRuns(t *testing.T, path string) {
+	t.Helper()
+	// Both runs write the timeline to the same file (read back between
+	// runs), so the path printed by Finish is identical too.
+	tlPath := filepath.Join(t.TempDir(), "tl.json")
+	want := runExampleNet(t, path, tlPath, 1)
+	got := runExampleNet(t, path, tlPath, 4)
+	if got.time != want.time {
+		t.Errorf("settle times differ: workers=1 %v, workers=4 %v", want.time, got.time)
+	}
+	if got.text != want.text {
+		t.Errorf("stats/metrics/watchdog output differs:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			want.text, got.text)
+	}
+	if !bytes.Equal(got.timeline, want.timeline) {
+		t.Errorf("timelines differ: workers=1 %d bytes, workers=4 %d bytes",
+			len(want.timeline), len(got.timeline))
+	}
+}
+
+// TestParallelDeterminismLossyLink replays the seeded lossy-link fault
+// campaign (drops, corruption, lost acks, retransmits) at one and four
+// workers: every retry decision comes from per-wire seeded streams, so
+// the campaign must be byte-for-byte identical.
+func TestParallelDeterminismLossyLink(t *testing.T) {
+	assertIdenticalRuns(t, filepath.Join("..", "..", "examples", "faults", "lossy-link.tnet"))
+}
+
+// TestParallelDeterminismSeveredRing replays the severed-ring deadlock
+// campaign: the timed cable cut and the watchdog's post-mortem (which
+// processes are blocked where) must not depend on the worker count.
+func TestParallelDeterminismSeveredRing(t *testing.T) {
+	assertIdenticalRuns(t, filepath.Join("..", "..", "examples", "faults", "severed-ring.tnet"))
+}
+
+// TestParallelDeterminismPipeline runs the multi-stage sieve pipeline
+// (the examples/pipeline program) at one and four workers and compares
+// the answers, the settle time, and the aggregate statistics down to
+// the per-opcode counts.
+func TestParallelDeterminismPipeline(t *testing.T) {
+	run := func(workers int) ([]int64, sim.Time, interface{}) {
+		s, err := sieve.Build(sieve.Params{Limit: 60, Stages: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Net.SetWorkers(workers)
+		primes, rep := s.Run(10 * sim.Second)
+		if !rep.Settled {
+			t.Fatalf("workers=%d: did not settle: %+v", workers, rep)
+		}
+		return primes, rep.Time, s.Net.TotalStats()
+	}
+	p1, t1, st1 := run(1)
+	p4, t4, st4 := run(4)
+	if !reflect.DeepEqual(p1, p4) {
+		t.Errorf("answers differ: %v vs %v", p1, p4)
+	}
+	if t1 != t4 {
+		t.Errorf("settle times differ: %v vs %v", t1, t4)
+	}
+	if !reflect.DeepEqual(st1, st4) {
+		t.Errorf("total stats differ:\nworkers=1: %+v\nworkers=4: %+v", st1, st4)
+	}
+}
