@@ -1,183 +1,51 @@
 package transputer_test
 
 // BenchmarkSystemThroughput measures the simulator's own execution
-// rate on communication-heavy multi-transputer topologies: every node
-// of a ring (and of a 3x3 torus grid) circulates tokens continuously,
-// so the whole network is busy for the full run.  The custom metric is
-// simulated machine cycles per wall-clock second, the number that the
-// sharded parallel engine exists to raise.
+// rate on multi-transputer workloads: two communication-heavy
+// topologies (every node of a ring and of a 3x3 torus grid circulates
+// tokens continuously) and one compute-heavy ring (each node sieves
+// primes locally and the links carry a single word).  The custom
+// metric is simulated machine cycles per wall-clock second — the
+// number the sharded parallel engine and the predecoded block cache
+// exist to raise.  The workload builders live in internal/bench,
+// shared with cmd/tbench.
 
 import (
 	"fmt"
-	"sync"
 	"testing"
 
-	"transputer/internal/core"
-	"transputer/internal/network"
-	"transputer/internal/occam"
+	"transputer/internal/bench"
 	"transputer/internal/sim"
 )
 
-// ringSource streams `rounds` words out of each node while a parallel
-// process drains the same count from the previous node, so every link
-// of the ring carries continuous traffic and the network settles
-// cleanly.  The sender and receiver must be concurrent: a node that
-// sent before receiving would deadlock the whole synchronous ring.
-const ringSource = `DEF rounds = 256:
-CHAN in, out:
-PLACE in AT LINK0IN:
-PLACE out AT LINK1OUT:
-PROC src(CHAN out, VALUE rounds) =
-  SEQ i = [0 FOR rounds]
-    out ! i + i
-:
-PROC sink(CHAN in, VALUE rounds) =
-  VAR x, sum:
-  SEQ
-    sum := 0
-    SEQ i = [0 FOR rounds]
-      SEQ
-        in ? x
-        sum := sum + x
-:
-PAR
-  src(out, rounds)
-  sink(in, rounds)
-`
-
-// gridSource is the torus-node program: the same streaming pair run
-// twice, once around the node's row and once around its column.
-const gridSource = `DEF rounds = 128:
-CHAN hin, hout, vin, vout:
-PLACE hin AT LINK0IN:
-PLACE hout AT LINK1OUT:
-PLACE vin AT LINK2IN:
-PLACE vout AT LINK3OUT:
-PROC src(CHAN out, VALUE rounds) =
-  SEQ i = [0 FOR rounds]
-    out ! i + i
-:
-PROC sink(CHAN in, VALUE rounds) =
-  VAR x, sum:
-  SEQ
-    sum := 0
-    SEQ i = [0 FOR rounds]
-      SEQ
-        in ? x
-        sum := sum + x
-:
-PAR
-  src(hout, rounds)
-  sink(hin, rounds)
-  src(vout, rounds)
-  sink(vin, rounds)
-`
-
-var throughputImages = struct {
-	once       sync.Once
-	ring, grid core.Image
-	err        error
-}{}
-
-func compileThroughputImages(b *testing.B) (ring, grid core.Image) {
-	b.Helper()
-	c := &throughputImages
-	c.once.Do(func() {
-		r, err := occam.Compile(ringSource, occam.Options{})
-		if err != nil {
-			c.err = err
-			return
-		}
-		g, err := occam.Compile(gridSource, occam.Options{})
-		if err != nil {
-			c.err = err
-			return
-		}
-		c.ring, c.grid = r.Image, g.Image
-	})
-	if c.err != nil {
-		b.Fatal(c.err)
-	}
-	return c.ring, c.grid
-}
-
-func throughputConfig() core.Config {
-	cfg := core.T424()
-	cfg.MemBytes = 16 * 1024
-	return cfg
-}
-
-// buildThroughputRing wires `nodes` transputers in a unidirectional
-// ring: link 1 of each node feeds link 0 of the next.
-func buildThroughputRing(b *testing.B, nodes int) *network.System {
-	b.Helper()
-	img, _ := compileThroughputImages(b)
-	s := network.NewSystem()
-	ns := make([]*network.Node, nodes)
-	for i := range ns {
-		ns[i] = s.MustAddTransputer(fmt.Sprintf("n%d", i), throughputConfig())
-		if err := ns[i].Load(img); err != nil {
-			b.Fatal(err)
-		}
-	}
-	for i := range ns {
-		s.MustConnect(ns[i], 1, ns[(i+1)%nodes], 0)
-	}
-	return s
-}
-
-// buildThroughputGrid wires a side x side torus: link 1 feeds the
-// right neighbour's link 0, link 3 feeds the lower neighbour's link 2.
-func buildThroughputGrid(b *testing.B, side int) *network.System {
-	b.Helper()
-	_, img := compileThroughputImages(b)
-	s := network.NewSystem()
-	ns := make([]*network.Node, side*side)
-	for i := range ns {
-		ns[i] = s.MustAddTransputer(fmt.Sprintf("n%d", i), throughputConfig())
-		if err := ns[i].Load(img); err != nil {
-			b.Fatal(err)
-		}
-	}
-	at := func(r, c int) *network.Node { return ns[((r+side)%side)*side+(c+side)%side] }
-	for r := 0; r < side; r++ {
-		for c := 0; c < side; c++ {
-			s.MustConnect(at(r, c), 1, at(r, c+1), 0)
-			s.MustConnect(at(r, c), 3, at(r+1, c), 2)
-		}
-	}
-	return s
-}
-
-func runThroughput(b *testing.B, workers int, build func() *network.System) {
+func runThroughput(b *testing.B, workers int, workload string) {
 	b.Helper()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		s := build()
+		s, err := bench.Build(workload)
+		if err != nil {
+			b.Fatal(err)
+		}
 		s.SetWorkers(workers)
-		rep := s.Run(10 * sim.Second)
-		if !rep.Settled {
-			b.Fatalf("network did not settle: %+v", rep)
+		n, err := bench.Run(s, 10*sim.Second)
+		if err != nil {
+			b.Fatal(err)
 		}
-		if len(rep.Blocked) > 0 || len(rep.Halted) > 0 {
-			b.Fatalf("network finished wedged: %+v", rep)
-		}
-		cycles += s.TotalStats().Cycles
+		cycles += n
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 }
 
-// BenchmarkSystemThroughput drives an 8-node ring and a 9-node torus
-// grid with every node passing tokens continuously, once sequentially
+// BenchmarkSystemThroughput drives every workload once sequentially
 // and once on four workers (identical simulation, different wall
 // clock).
 func BenchmarkSystemThroughput(b *testing.B) {
 	for _, w := range []int{1, 4} {
-		b.Run(fmt.Sprintf("ring8/workers=%d", w), func(b *testing.B) {
-			runThroughput(b, w, func() *network.System { return buildThroughputRing(b, 8) })
-		})
-		b.Run(fmt.Sprintf("grid3x3/workers=%d", w), func(b *testing.B) {
-			runThroughput(b, w, func() *network.System { return buildThroughputGrid(b, 3) })
-		})
+		for _, name := range bench.Workloads() {
+			name, w := name, w
+			b.Run(fmt.Sprintf("%s/workers=%d", name, w), func(b *testing.B) {
+				runThroughput(b, w, name)
+			})
+		}
 	}
 }

@@ -1,0 +1,117 @@
+// Tbench runs the simulator throughput benchmark outside the Go test
+// harness and prints a JSON stanza in the BENCH_parallel.json stage
+// format, ready to paste into the record.
+//
+// Usage:
+//
+//	tbench [-workload all|ring8|grid3x3|compute8] [-workers 1,4]
+//	       [-runs n] [-blockcache=true] [-limit s]
+//
+// Each (workload, workers) pair is built fresh and run to completion
+// `runs` times; the stanza reports the median wall-clock ns per run
+// and the simulated-machine-cycles-per-second rate it implies.  The
+// simulation itself is deterministic, so the cycle count is checked to
+// be identical across runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"transputer/internal/bench"
+	"transputer/internal/sim"
+)
+
+type result struct {
+	NsPerOp       int64 `json:"ns_per_op"`
+	SimcyclesPerS int64 `json:"simcycles_per_s"`
+}
+
+func main() {
+	workload := flag.String("workload", "all", "workload to run: all, or one of "+strings.Join(bench.Workloads(), ", "))
+	workers := flag.String("workers", "1,4", "comma-separated worker counts")
+	runs := flag.Int("runs", 5, "runs per (workload, workers) pair; the median is reported")
+	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (results are identical either way)")
+	limit := flag.Int("limit", 10, "per-run simulated-time limit in seconds")
+	flag.Parse()
+
+	var names []string
+	if *workload == "all" {
+		names = bench.Workloads()
+	} else {
+		names = strings.Split(*workload, ",")
+	}
+	var counts []int
+	for _, f := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -workers value %q", f))
+		}
+		counts = append(counts, n)
+	}
+
+	results := make(map[string]map[string]result)
+	for _, name := range names {
+		per := make(map[string]result)
+		for _, w := range counts {
+			r, err := measure(name, w, *runs, *blockcache, sim.Time(*limit)*sim.Second)
+			if err != nil {
+				fatal(err)
+			}
+			per[fmt.Sprintf("workers%d", w)] = r
+			fmt.Fprintf(os.Stderr, "%s/workers=%d: %d ns/op, %d simcycles/s\n",
+				name, w, r.NsPerOp, r.SimcyclesPerS)
+		}
+		results[name] = per
+	}
+
+	stanza := map[string]any{"runs": *runs, "blockcache": *blockcache, "results": results}
+	out, err := json.MarshalIndent(stanza, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// measure runs one (workload, workers) pair `runs` times and returns
+// the median wall time and the throughput it implies.
+func measure(name string, workers, runs int, blockcache bool, limit sim.Time) (result, error) {
+	var wall []time.Duration
+	var cycles uint64
+	for i := 0; i < runs; i++ {
+		s, err := bench.Build(name)
+		if err != nil {
+			return result{}, err
+		}
+		s.SetWorkers(workers)
+		s.SetBlockCache(blockcache)
+		start := time.Now()
+		c, err := bench.Run(s, limit)
+		if err != nil {
+			return result{}, err
+		}
+		wall = append(wall, time.Since(start))
+		if i == 0 {
+			cycles = c
+		} else if c != cycles {
+			return result{}, fmt.Errorf("%s: nondeterministic cycle count: run 0 simulated %d, run %d simulated %d", name, cycles, i, c)
+		}
+	}
+	sort.Slice(wall, func(i, j int) bool { return wall[i] < wall[j] })
+	med := wall[len(wall)/2]
+	return result{
+		NsPerOp:       med.Nanoseconds(),
+		SimcyclesPerS: int64(float64(cycles) / med.Seconds()),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbench:", err)
+	os.Exit(1)
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tnet [-stats] [-timeline out.json] [-metrics] [-prof out.prof]
-//	     [-profperiod us] [-seed n] [-workers n] network.tnet
+//	     [-profperiod us] [-seed n] [-workers n] [-blockcache=false]
+//	     network.tnet
 //
 // -seed overrides the topology file's seed directive, so one fault
 // campaign file can be replayed under many seeds.
@@ -31,6 +32,7 @@ func main() {
 	prof := flag.String("prof", "", "sample every node's instruction pointer and write a profile to this file")
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	seed := flag.Uint64("seed", 0, "override the topology's fault-plan seed")
+	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (purely a simulator speed switch; output is identical either way)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tnet [flags] network.tnet")
@@ -55,6 +57,7 @@ func main() {
 	}
 	s := net.System
 	s.SetWorkers(*workers)
+	s.SetBlockCache(*blockcache)
 
 	obs := tool.NewObserver(s)
 	if *timeline != "" {

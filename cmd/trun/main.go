@@ -7,7 +7,7 @@
 //
 //	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats]
 //	     [-timeline out.json] [-metrics] [-prof out.prof] [-profperiod us]
-//	     [-in w,w,...] [-workers n] program.{occ,tasm,tix}
+//	     [-in w,w,...] [-workers n] [-blockcache=false] program.{occ,tasm,tix}
 package main
 
 import (
@@ -36,6 +36,7 @@ func main() {
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	input := flag.String("in", "", "comma-separated words queued for host input")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads for the parallel engine (1 = sequential; output is identical at any count)")
+	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (purely a simulator speed switch; output is identical either way)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: trun [flags] program.{occ,tasm,tix}")
@@ -53,6 +54,7 @@ func main() {
 
 	s := network.NewSystem()
 	s.SetWorkers(*workers)
+	s.SetBlockCache(*blockcache)
 	n, err := s.AddTransputer("main", cfg)
 	if err != nil {
 		fatal(err)

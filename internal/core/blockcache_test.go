@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"transputer/internal/core"
+	"transputer/internal/sim"
+)
+
+// runSrcCache assembles and runs a program with the block cache on or
+// off, failing on faults or timeout.
+func runSrcCache(t *testing.T, src string, cache bool) (*core.Machine, core.RunResult) {
+	t.Helper()
+	cfg := core.T424().WithMemory(64 * 1024)
+	cfg.NoBlockCache = !cache
+	m := core.MustNew(cfg)
+	if err := m.Load(assemble(t, src)); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := core.Run(m, 100*sim.Millisecond)
+	if err := m.Fault(); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	if !res.Settled {
+		t.Fatalf("program did not settle in %v", res.Time)
+	}
+	return m, res
+}
+
+// selfModifySource patches its own code: the first pass through
+// `again` stores 1, then overwrites the already-executed `ldc 1`
+// (0x41) with `ldc 9` (0x49 = 73) and jumps back.  The second pass
+// must fetch the new byte even though the old instruction sits in a
+// decoded block — both passes enter at `again` via a jump, so the
+// stale block would be re-entered at its cached key if invalidation
+// failed.
+const selfModifySource = `
+	ldc 0
+	stl 2
+	j again
+again:
+	ldc 1
+	stl 1
+	ldl 2
+	cj first
+	stopp
+first:
+	ldc 1
+	stl 2
+	ldc 73
+	ldpi again
+	sb
+	j again
+`
+
+func TestSelfModifyingCodeSeesNewBytes(t *testing.T) {
+	for _, cache := range []bool{true, false} {
+		m, _ := runSrcCache(t, selfModifySource, cache)
+		if got := m.Local(1); got != 9 {
+			t.Errorf("cache=%v: x = %d, want 9 (stale instruction executed)", cache, got)
+		}
+	}
+}
+
+// loopSource mixes straight-line arithmetic, indirect operations and
+// control flow so decoded blocks are built, re-entered and interleaved
+// with interpreted instructions.
+const loopSource = `
+	ldc 10
+	stl 1
+	ldc 0
+	stl 2
+loop:
+	ldl 1
+	cj done
+	ldl 2
+	ldl 1
+	add
+	ldl 1
+	ldl 1
+	mul
+	sum
+	stl 2
+	ldl 1
+	adc -1
+	stl 1
+	j loop
+done:
+	stopp
+`
+
+// TestBlockCacheResultEquivalence pins the cache as a pure performance
+// switch: identical results, identical statistics (including the
+// per-function and per-operation histograms), identical cycle totals
+// and identical final times with it on or off.
+func TestBlockCacheResultEquivalence(t *testing.T) {
+	for _, src := range []string{loopSource, selfModifySource} {
+		mOn, resOn := runSrcCache(t, src, true)
+		mOff, resOff := runSrcCache(t, src, false)
+		if mOn.Local(1) != mOff.Local(1) || mOn.Local(2) != mOff.Local(2) {
+			t.Errorf("results differ: %d/%d vs %d/%d",
+				mOn.Local(1), mOn.Local(2), mOff.Local(1), mOff.Local(2))
+		}
+		if resOn.Time != resOff.Time {
+			t.Errorf("final times differ: %v vs %v", resOn.Time, resOff.Time)
+		}
+		if !reflect.DeepEqual(mOn.Stats(), mOff.Stats()) {
+			t.Errorf("stats differ:\non:  %+v\noff: %+v", mOn.Stats(), mOff.Stats())
+		}
+	}
+}
+
+// TestBlockCacheTraceEquivalence compares full instruction traces with
+// the cache on and off: every TraceEvent — time, address, registers,
+// decoded instruction, cycle counter — must be byte-identical, so the
+// cached dispatch is invisible to observers too.
+func TestBlockCacheTraceEquivalence(t *testing.T) {
+	run := func(src string, cache bool) []core.TraceEvent {
+		cfg := core.T424().WithMemory(64 * 1024)
+		cfg.NoBlockCache = !cache
+		m := core.MustNew(cfg)
+		if err := m.Load(assemble(t, src)); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		var evs []core.TraceEvent
+		m.SetTrace(func(e core.TraceEvent) { evs = append(evs, e) })
+		res := core.Run(m, 100*sim.Millisecond)
+		if !res.Settled {
+			t.Fatalf("program did not settle in %v", res.Time)
+		}
+		return evs
+	}
+	for _, src := range []string{loopSource, selfModifySource} {
+		on := run(src, true)
+		off := run(src, false)
+		if len(on) != len(off) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("trace event %d differs:\non:  %+v\noff: %+v", i, on[i], off[i])
+			}
+		}
+	}
+}

@@ -98,6 +98,13 @@ type Machine struct {
 	// scheduler, channels and timers.  Every emit site nil-checks it,
 	// so a detached machine pays nothing.
 	bus *probe.Bus
+
+	// bc caches predecoded straight-line instruction blocks; curBlock
+	// and curIdx form the execution cursor into the block containing
+	// the current instruction pointer (see blockcache.go).
+	bc       *blockCache
+	curBlock *block
+	curIdx   int
 	// qlen tracks the run-queue length per priority, published in
 	// probe events.
 	qlen [2]int
@@ -357,6 +364,7 @@ var errNoRoom = fmt.Errorf("core: program does not fit in memory")
 // low priority, mirroring the hardware boot convention.
 func (m *Machine) Load(img Image) error {
 	m.resetSchedState()
+	m.flushBlocks()
 	codeStart := m.MemStart()
 	codeWords := (len(img.Code) + m.bpw - 1) / m.bpw
 	dataWords := (img.DataBytes + m.bpw - 1) / m.bpw

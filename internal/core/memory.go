@@ -128,6 +128,9 @@ func (m *Machine) setWord(addr, v uint64) {
 		m.fault("write word", addr)
 		return
 	}
+	if m.bc != nil && off < m.bc.hi && off+uint64(m.bpw) > m.bc.lo {
+		m.noteCodeWrite(off, uint64(m.bpw))
+	}
 	for i := 0; i < m.bpw; i++ {
 		m.mem[off+uint64(i)] = byte(v)
 		v >>= 8
@@ -150,6 +153,9 @@ func (m *Machine) setByte(addr uint64, v byte) {
 	if off >= uint64(len(m.mem)) {
 		m.fault("write byte", addr)
 		return
+	}
+	if m.bc != nil && off < m.bc.hi && off >= m.bc.lo {
+		m.noteCodeWrite(off, 1)
 	}
 	m.mem[off] = v
 }

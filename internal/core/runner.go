@@ -17,6 +17,14 @@ type Driver interface {
 	SetOffset(d sim.Time)
 	Stamp() uint64
 	AdvanceTo(t sim.Time)
+	// PromiseQuiet records that the event id — the runner's pending
+	// continuation — will not start or acknowledge any link transfer
+	// before the given time.  A sharded coordinator uses the promise to
+	// extend neighbouring windows past the per-link lookahead; a
+	// standalone kernel ignores it.  The promise is superseded the
+	// moment id fires (the runner re-promises, or not, at the next
+	// batch end).
+	PromiseQuiet(id sim.EventID, until sim.Time)
 }
 
 // Runner drives a machine from a simulation driver.  Instructions are
@@ -88,11 +96,33 @@ func (r *Runner) step() {
 	}
 	d := r.drv
 	base := d.Now()
+	cyc := int64(m.cfg.CycleNs)
 	var off, last sim.Time
 	stamp := d.Stamp()
 	bound := r.bound()
 	for {
 		last = base + off
+		// Fast path: a run of pure predecoded records executes in one
+		// call, with the same per-instruction accounting and the same
+		// bound semantics as the stepwise loop below.  Pure records
+		// cannot schedule or cancel events, so the cached bound stays
+		// valid; they cannot deschedule, so only a halt can park the
+		// machine.
+		if n, lastC := m.StepRun(int64(bound - (base + off))); n > 0 {
+			r.BusyCycles += uint64(n)
+			off += sim.Time(int64(n) * cyc)
+			if m.Halted() {
+				last = base + off - sim.Time(int64(lastC)*cyc)
+				d.SetOffset(0)
+				d.AdvanceTo(last)
+				return
+			}
+			if base+off >= bound {
+				break
+			}
+			d.SetOffset(off)
+			continue
+		}
 		cycles := m.Step()
 		r.BusyCycles += uint64(cycles)
 		delay := sim.Time(int64(cycles) * int64(m.cfg.CycleNs))
@@ -118,7 +148,10 @@ func (r *Runner) step() {
 	}
 	d.SetOffset(0)
 	r.active = true
-	d.Schedule(base+off, r.step)
+	id := d.Schedule(base+off, r.step)
+	if ahead := m.SendLookaheadCycles(); ahead > 0 {
+		d.PromiseQuiet(id, base+off+sim.Time(int64(ahead)*cyc))
+	}
 }
 
 // RunResult describes why a standalone run stopped.

@@ -68,9 +68,26 @@ func (m *Machine) pop() uint64 {
 // wptr returns the current workspace pointer.
 func (m *Machine) wptr() uint64 { return wptrOf(m.Wdesc) }
 
-// execOne fetches, decodes and executes a single instruction, including
-// its prefix sequence, and returns the cycles consumed.
+// execOne executes a single instruction and returns the cycles
+// consumed, dispatching on a predecoded record when the block cache
+// holds one for the current instruction pointer and falling back to
+// the interpreted fetch/decode path otherwise.
 func (m *Machine) execOne() int {
+	if !m.cfg.NoBlockCache && m.Oreg == 0 {
+		if b := m.curBlock; b != nil && b.valid &&
+			m.curIdx < len(b.recs) && b.recs[m.curIdx].addr == m.Iptr {
+			return m.execRec(b, m.curIdx)
+		}
+		if b := m.lookupBlock(m.Iptr); b != nil {
+			return m.execRec(b, 0)
+		}
+	}
+	return m.execOneSlow()
+}
+
+// execOneSlow fetches, decodes and executes a single instruction,
+// including its prefix sequence, and returns the cycles consumed.
+func (m *Machine) execOneSlow() int {
 	cycles := 0
 	bytes := 0
 	startAddr := m.Iptr

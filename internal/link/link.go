@@ -325,6 +325,12 @@ type Engine struct {
 	outs [core.NumLinks]*outHalf
 	ins  [core.NumLinks]*inHalf
 	bus  *probe.Bus
+
+	// onSever, when set, is told the first time each link of this engine
+	// is cut; the network layer uses it to retire the pair from the
+	// coordinator's wiring matrix so severed neighbourhoods stop
+	// constraining each other's windows.
+	onSever func(link int)
 }
 
 var _ core.External = (*Engine)(nil)
@@ -343,6 +349,9 @@ func NewEngine(k sim.Clock, m *core.Machine) *Engine {
 
 // AttachProbe connects the engine's wires and senders to a probe bus.
 func (e *Engine) AttachProbe(b *probe.Bus) { e.bus = b }
+
+// OnSever registers the link-cut callback (see Engine.onSever).
+func (e *Engine) OnSever(fn func(link int)) { e.onSever = fn }
 
 // emit stamps and publishes a probe event under the engine's machine.
 // Callers must have checked e.bus != nil.
@@ -623,6 +632,7 @@ func (e *Engine) SeverLink(i int) {
 		return
 	}
 	w := e.outs[i].wire
+	already := w.severed
 	w.severed = true
 	peer := e.ins[i].peerOut
 	if w.post == nil {
@@ -647,6 +657,9 @@ func (e *Engine) SeverLink(i int) {
 	}
 	if e.bus != nil {
 		e.emit(probe.Event{Kind: probe.LinkSever, Link: i})
+	}
+	if !already && e.onSever != nil {
+		e.onSever(i)
 	}
 }
 

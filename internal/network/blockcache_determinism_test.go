@@ -1,0 +1,131 @@
+package network_test
+
+import (
+	"reflect"
+	"testing"
+
+	"transputer/internal/apps/sieve"
+	"transputer/internal/bench"
+	"transputer/internal/core"
+	"transputer/internal/probe"
+	"transputer/internal/sim"
+)
+
+// The predecoded block cache and the quiescence-extended windows are
+// pure simulator-performance machinery: these tests pin that neither
+// is visible in any observable output — probe timelines, per-node
+// statistics down to the opcode histograms, or settle times — at any
+// worker count.
+
+// sieveObservables runs the sieve pipeline with the given worker
+// count and cache setting, capturing every probe event and every
+// node's full statistics.
+func sieveObservables(t *testing.T, workers int, cache bool) (sim.Time, []probe.Event, []core.Stats) {
+	t.Helper()
+	s, err := sieve.Build(sieve.Params{Limit: 30, Stages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Net.SetWorkers(workers)
+	s.Net.SetBlockCache(cache)
+	bus := probe.NewBus()
+	var evs []probe.Event
+	bus.Subscribe(func(e probe.Event) { evs = append(evs, e) })
+	s.Net.AttachProbe(bus)
+	_, rep := s.Run(sim.Second)
+	if !rep.Settled {
+		t.Fatalf("workers=%d cache=%v: did not settle", workers, cache)
+	}
+	var stats []core.Stats
+	for _, n := range s.Net.Nodes() {
+		stats = append(stats, n.M.Stats())
+	}
+	return rep.Time, evs, stats
+}
+
+// TestBlockCacheInvisibleInTimeline runs a shipped example with the
+// cache force-disabled and enabled: the merged probe timeline, the
+// per-node statistics (function and operation histograms included)
+// and the settle time must be identical.
+func TestBlockCacheInvisibleInTimeline(t *testing.T) {
+	tOn, evOn, stOn := sieveObservables(t, 1, true)
+	tOff, evOff, stOff := sieveObservables(t, 1, false)
+	if tOn != tOff {
+		t.Errorf("settle times differ: %v vs %v", tOn, tOff)
+	}
+	if len(evOn) != len(evOff) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(evOn), len(evOff))
+	}
+	for i := range evOn {
+		if evOn[i] != evOff[i] {
+			t.Fatalf("timeline event %d differs:\non:  %+v\noff: %+v", i, evOn[i], evOff[i])
+		}
+	}
+	if !reflect.DeepEqual(stOn, stOff) {
+		t.Errorf("per-node stats differ:\non:  %+v\noff: %+v", stOn, stOff)
+	}
+}
+
+// TestBlockCacheDeterministicAcrossWorkers crosses worker counts with
+// cache settings: all four combinations must yield one observable
+// history.
+func TestBlockCacheDeterministicAcrossWorkers(t *testing.T) {
+	tRef, evRef, stRef := sieveObservables(t, 1, true)
+	for _, workers := range []int{1, 4} {
+		for _, cache := range []bool{true, false} {
+			if workers == 1 && cache {
+				continue
+			}
+			tt, ev, st := sieveObservables(t, workers, cache)
+			if tt != tRef {
+				t.Errorf("workers=%d cache=%v: settle time %v, want %v", workers, cache, tt, tRef)
+			}
+			if !reflect.DeepEqual(ev, evRef) {
+				t.Errorf("workers=%d cache=%v: timeline differs", workers, cache)
+			}
+			if !reflect.DeepEqual(st, stRef) {
+				t.Errorf("workers=%d cache=%v: stats differ", workers, cache)
+			}
+		}
+	}
+}
+
+// TestSparseTrafficDeterministicAcrossWorkers runs the compute-heavy
+// ring — links idle for almost the whole run, so windows are extended
+// by quiet promises and topology distances — at one and four workers.
+// The extended horizons must not change a single observable.
+func TestSparseTrafficDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int, cache bool) (sim.Time, uint64, []core.Stats) {
+		s, err := bench.ComputeRing(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		s.SetBlockCache(cache)
+		rep := s.Run(10 * sim.Second)
+		if !rep.Settled || len(rep.Blocked) > 0 || len(rep.Halted) > 0 {
+			t.Fatalf("workers=%d cache=%v: bad finish: %+v", workers, cache, rep)
+		}
+		var stats []core.Stats
+		for _, n := range s.Nodes() {
+			stats = append(stats, n.M.Stats())
+		}
+		return rep.Time, s.TotalStats().Cycles, stats
+	}
+	tRef, cRef, stRef := run(1, true)
+	for _, workers := range []int{1, 4} {
+		for _, cache := range []bool{true, false} {
+			if workers == 1 && cache {
+				continue
+			}
+			tt, cc, st := run(workers, cache)
+			if tt != tRef || cc != cRef {
+				t.Errorf("workers=%d cache=%v: time/cycles %v/%d, want %v/%d",
+					workers, cache, tt, cc, tRef, cRef)
+			}
+			if !reflect.DeepEqual(st, stRef) {
+				t.Errorf("workers=%d cache=%v: per-node stats differ", workers, cache)
+			}
+		}
+	}
+}

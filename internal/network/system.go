@@ -11,6 +11,7 @@ package network
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"transputer/internal/core"
 	"transputer/internal/link"
@@ -38,6 +39,17 @@ type Node struct {
 	shard  *sim.Shard
 	col    *collector
 	wired  [core.NumLinks]bool
+	// severs maps each cross-shard link to the shared per-connection
+	// sever marker (nil for host links and same-shard wiring).
+	severs [core.NumLinks]*severMark
+}
+
+// severMark is shared by the two ends of one cross-shard connection so
+// that a sever — whichever end's fault schedule triggers it, or both —
+// retires the pair from the coordinator's wiring matrix exactly once.
+type severMark struct {
+	a, b int // shard IDs of the two ends
+	done bool
 }
 
 // Clock returns the node's scheduling domain (its shard), for code
@@ -66,6 +78,13 @@ type System struct {
 	// linkMode is applied to every engine and host end, present and
 	// future (see SetLinkMode).
 	linkMode LinkMode
+	// blockCacheOff is applied to every machine, present and future
+	// (see SetBlockCache).
+	blockCacheOff bool
+	// severMu guards severMark.done; sever callbacks run on shard
+	// goroutines, and both ends of a connection may fire in the same
+	// window.
+	severMu sync.Mutex
 }
 
 // NewSystem returns an empty system.
@@ -82,6 +101,17 @@ func (s *System) SetWorkers(n int) { s.coord.SetWorkers(n) }
 
 // Workers reports the configured worker count.
 func (s *System) Workers() int { return s.coord.Workers() }
+
+// SetBlockCache enables or disables the predecoded block cache on
+// every machine in the system, present and future.  Purely a
+// simulator-performance switch: traces, statistics and cycle
+// accounting are identical either way.
+func (s *System) SetBlockCache(on bool) {
+	s.blockCacheOff = !on
+	for _, n := range s.nodes {
+		n.M.SetBlockCache(on)
+	}
+}
 
 // Now returns the current simulated time.
 func (s *System) Now() sim.Time { return s.coord.Now() }
@@ -101,12 +131,16 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 	n.shard = s.coord.NewShard()
 	n.runner = core.NewRunner(n.shard, m)
 	n.Engine = link.NewEngine(n.shard, m)
+	n.Engine.OnSever(func(l int) { s.linkSevered(n, l) })
 	m.Attach(shardClock{n.shard}, n.Engine)
 	if s.bus != nil {
 		s.attachCollector(n)
 	}
 	if s.linkMode.Reliable {
 		n.Engine.SetReliable(true, s.linkMode.Timeout, s.linkMode.Retries)
+	}
+	if s.blockCacheOff {
+		m.SetBlockCache(false)
 	}
 	s.nodes = append(s.nodes, n)
 	s.byName[name] = n
@@ -223,7 +257,41 @@ func (s *System) Connect(a *Node, la int, b *Node, lb int) error {
 	link.Connect(a.Engine, la, b.Engine, lb)
 	a.wired[la] = true
 	b.wired[lb] = true
+	if a.shard != b.shard {
+		// Register the pair in the coordinator's wiring matrix: window
+		// horizons then follow the actual topology (shortest influence
+		// paths) instead of assuming every shard can reach every other
+		// in one Lookahead.
+		s.coord.Wire(a.shard.ID(), b.shard.ID(), Lookahead)
+		s.coord.Wire(b.shard.ID(), a.shard.ID(), Lookahead)
+		mark := &severMark{a: a.shard.ID(), b: b.shard.ID()}
+		a.severs[la] = mark
+		b.severs[lb] = mark
+	}
 	return nil
+}
+
+// linkSevered retires a severed cross-shard connection from the
+// coordinator's wiring matrix.  The cut takes effect at now+Lookahead:
+// the far end's wire dies exactly one propagation delay after the
+// near end's, so nothing sent after that instant can cross in either
+// direction, and the coordinator defers the actual matrix update until
+// the whole system has executed past the cut.
+func (s *System) linkSevered(n *Node, l int) {
+	mark := n.severs[l]
+	if mark == nil {
+		return
+	}
+	s.severMu.Lock()
+	done := mark.done
+	mark.done = true
+	s.severMu.Unlock()
+	if done {
+		return
+	}
+	cut := n.shard.Now() + Lookahead
+	s.coord.Unwire(mark.a, mark.b, cut)
+	s.coord.Unwire(mark.b, mark.a, cut)
 }
 
 // MustConnect is Connect that panics on bad topology.

@@ -131,6 +131,48 @@ func (k *Kernel) NextTime() (Time, bool) {
 // overrides this with its current window horizon.)
 func (k *Kernel) Horizon() Time { return k.horizon }
 
+// PromiseQuiet is the send-promise hook of the batch-runner driver
+// interface.  A lone kernel has no neighbours to inform, so it ignores
+// promises; a coordinator Shard records them to extend windows.
+func (k *Kernel) PromiseQuiet(id EventID, until Time) {}
+
+// IsPending reports whether an event is still scheduled and not
+// cancelled.
+func (k *Kernel) IsPending(id EventID) bool { return k.pending[id] }
+
+// NextEvent reports the earliest pending event's time and ID — the
+// coordinator's check for whether a quiet promise covers the head of
+// the queue.
+func (k *Kernel) NextEvent() (Time, EventID, bool) {
+	e, ok := k.peek()
+	if !ok {
+		return 0, 0, false
+	}
+	return e.at, e.id, true
+}
+
+// NextTimeExcluding reports the time of the earliest pending event
+// other than the one named — the coordinator's send-bound scan, which
+// discounts a runner continuation covered by a quiet promise.  The
+// scan is linear over the heap; shard heaps hold a handful of events,
+// and with no cancelled entries lurking every heap entry is pending,
+// so the per-entry liveness check can be skipped wholesale.
+func (k *Kernel) NextTimeExcluding(id EventID) (Time, bool) {
+	best := MaxTime
+	found := false
+	clean := len(k.cancelled) == 0
+	for _, e := range k.heap {
+		if e.id == id || (!clean && !k.pending[e.id]) {
+			continue
+		}
+		if e.at < best {
+			best = e.at
+			found = true
+		}
+	}
+	return best, found
+}
+
 // Schedule runs fn at the given absolute time, which must not be in the
 // past.  It returns an ID that can be passed to Cancel.
 func (k *Kernel) Schedule(at Time, fn func()) EventID {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -67,7 +68,55 @@ type Coordinator struct {
 	sleepers atomic.Int32
 	helpers  int
 	windowWg sync.WaitGroup
+
+	// Per-pair wiring (see horizons).  With no Wire calls the
+	// coordinator treats the shard graph as complete at the global
+	// lookahead — the PR-3 rule.  Once wired, w[a][b] is the direct
+	// lookahead from shard a to shard b (infTime when unwired),
+	// wcount[a][b] counts parallel links so severing one of several
+	// keeps the pair finite, and dist is the all-pairs shortest-path
+	// closure rebuilt lazily after wiring changes.
+	wired      bool
+	w          [][]Time
+	wcount     [][]int
+	dist       [][]Time
+	selfInf    []Time // shortest round trip leaving and re-entering a shard
+	distDirty  bool
+	sendBounds []Time // per-barrier scratch
+	unwires    []unwire
+
+	// byDist[s] holds the sources that can reach s sorted by influence
+	// distance (nearest first), rebuilt with dist; minSendBound is the
+	// per-barrier minimum of sendBounds.  Together they let horizonFor
+	// cut its scan off early: once d + minSendBound cannot beat the
+	// bound found so far, no farther source can either.
+	byDist       [][]distEntry
+	minSendBound Time
+
+	// Per-barrier scratch, reused to keep the barrier loop
+	// allocation-free: each shard's next event time (MaxTime when its
+	// queue is empty) and the active-shard list for the window.
+	nts       []Time
+	activeBuf []*Shard
 }
+
+// distEntry is one source in a shard's nearest-first influence list.
+type distEntry struct {
+	d Time
+	q int32
+}
+
+// unwire is a pending wiring removal: it takes effect only at a barrier
+// where every event at or before cut has already executed, so in-flight
+// traffic from before the sever is already in the destination kernels.
+type unwire struct {
+	a, b int
+	cut  Time
+}
+
+// infTime marks an absent path; far enough from MaxTime that sums of
+// two never overflow.
+const infTime = MaxTime / 4
 
 // claim-word layout: epoch(32) | len(16) | idx(16).
 const (
@@ -110,6 +159,160 @@ func (c *Coordinator) NewShard() *Shard {
 	s := &Shard{c: c, id: len(c.shards), k: NewKernel()}
 	c.shards = append(c.shards, s)
 	return s
+}
+
+// Wire records a direct link from shard a to shard b with the given
+// minimum latency.  Calling Wire at least once switches the coordinator
+// from the complete-graph default to horizons derived from actual
+// wiring: pairs with no connecting path contribute no bound at all, so
+// disjoint components (and fully severed nodes) synchronise only
+// internally.  Parallel links stack; each is removed by one Unwire.
+func (c *Coordinator) Wire(a, b int, latency Time) {
+	if latency <= 0 {
+		panic("sim: wire latency must be positive")
+	}
+	c.ensureMatrix()
+	c.wcount[a][b]++
+	if latency < c.w[a][b] {
+		c.w[a][b] = latency
+	}
+	c.distDirty = true
+}
+
+// Unwire schedules the removal of one a→b link, effective once the
+// whole system has executed past cut (the simulated instant the link
+// stopped carrying traffic).  The deferral is what makes removal safe:
+// by then every event that could have used the link has fired and its
+// deliveries sit in the destination kernels, so widening the horizon
+// afterwards cannot lose causality.
+//
+// Unwire may be called from shard goroutines mid-window (a fault
+// schedule severing a link); the pending list is guarded by the
+// coordinator mutex and drained at the next barrier.  An Unwire with
+// no prior Wire (an unwired coordinator) is recorded but never
+// applied.
+func (c *Coordinator) Unwire(a, b int, cut Time) {
+	c.mu.Lock()
+	c.unwires = append(c.unwires, unwire{a: a, b: b, cut: cut})
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) ensureMatrix() {
+	n := len(c.shards)
+	if c.wired && len(c.w) == n {
+		return
+	}
+	w := make([][]Time, n)
+	wc := make([][]int, n)
+	for i := range w {
+		w[i] = make([]Time, n)
+		wc[i] = make([]int, n)
+		for j := range w[i] {
+			w[i][j] = infTime
+		}
+		// Copy any earlier, smaller matrix (shards added after wiring
+		// started).
+		if i < len(c.w) {
+			copy(w[i], c.w[i])
+			copy(wc[i], c.wcount[i])
+		}
+	}
+	c.w, c.wcount = w, wc
+	c.wired = true
+	c.distDirty = true
+}
+
+// applyUnwires retires pending link removals whose cut time the whole
+// system has passed.  Called between windows, with min1 the earliest
+// pending event anywhere.
+func (c *Coordinator) applyUnwires(min1 Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.unwires[:0]
+	for _, u := range c.unwires {
+		if min1 <= u.cut {
+			kept = append(kept, u)
+			continue
+		}
+		if c.wcount[u.a][u.b] > 0 {
+			c.wcount[u.a][u.b]--
+			if c.wcount[u.a][u.b] == 0 {
+				c.w[u.a][u.b] = infTime
+				c.distDirty = true
+			}
+		}
+	}
+	c.unwires = kept
+}
+
+// refreshDist rebuilds the all-pairs shortest-path closure and the
+// per-shard minimum round trip.  Shard counts are small and wiring
+// changes are rare (a sever), so Floyd–Warshall is plenty.
+func (c *Coordinator) refreshDist() {
+	if !c.distDirty {
+		return
+	}
+	c.distDirty = false
+	n := len(c.shards)
+	if len(c.dist) != n {
+		c.dist = make([][]Time, n)
+		for i := range c.dist {
+			c.dist[i] = make([]Time, n)
+		}
+		c.selfInf = make([]Time, n)
+		c.sendBounds = make([]Time, n)
+	}
+	for i := 0; i < n; i++ {
+		copy(c.dist[i], c.w[i])
+		c.dist[i][i] = 0
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := c.dist[i][k]
+			if dik >= infTime {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := dik + c.dist[k][j]; d < c.dist[i][j] {
+					c.dist[i][j] = d
+				}
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		rt := infTime
+		for r := 0; r < n; r++ {
+			if r == s {
+				continue
+			}
+			if d := c.dist[s][r] + c.dist[r][s]; d < rt {
+				rt = d
+			}
+		}
+		c.selfInf[s] = rt
+	}
+	// byDist[s] lists every source that can influence s, nearest
+	// first, so the per-barrier horizon scan can stop as soon as the
+	// remaining distances cannot beat the minimum found.  Unreachable
+	// sources are left out entirely: they never contribute a bound.
+	if len(c.byDist) != n {
+		c.byDist = make([][]distEntry, n)
+	}
+	for s := 0; s < n; s++ {
+		list := c.byDist[s][:0]
+		for q := 0; q < n; q++ {
+			d := c.dist[q][s]
+			if q == s {
+				d = c.selfInf[s]
+			}
+			if d >= infTime {
+				continue
+			}
+			list = append(list, distEntry{d: d, q: int32(q)})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].d < list[j].d })
+		c.byDist[s] = list
+	}
 }
 
 // Shards returns the shards in creation order.
@@ -183,17 +386,24 @@ func (c *Coordinator) RunUntil(limit Time) bool {
 func (c *Coordinator) run(limit Time, bounded bool) bool {
 	stop := c.startPool()
 	defer stop()
+	if len(c.nts) != len(c.shards) {
+		c.nts = make([]Time, len(c.shards))
+	}
 	for {
 		c.drain()
 		// min1/min2: the two earliest next-event times across shards,
-		// for the per-shard horizon rule.
+		// for the per-shard horizon rule.  Each shard's next-event time
+		// is cached for the rest of the barrier (send bounds, the
+		// active-shard scan): peeking costs a cancellation check.
 		min1, min2 := MaxTime, MaxTime
 		owner := -1
 		for _, s := range c.shards {
 			t, ok := s.k.NextTime()
 			if !ok {
+				c.nts[s.id] = MaxTime
 				continue
 			}
+			c.nts[s.id] = t
 			if t < min1 {
 				min1, min2 = t, min1
 				owner = s.id
@@ -215,7 +425,20 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 			}
 			return false
 		}
-		active := c.shards[:0:0]
+		if c.wired {
+			c.applyUnwires(min1)
+			c.refreshDist()
+			minSb := MaxTime
+			for _, q := range c.shards {
+				sb := q.sendBoundAt(c.nts[q.id])
+				c.sendBounds[q.id] = sb
+				if sb < minSb {
+					minSb = sb
+				}
+			}
+			c.minSendBound = minSb
+		}
+		active := c.activeBuf[:0]
 		for _, s := range c.shards {
 			// The sound window: a shard may run only to the earliest
 			// instant any cross-shard event could reach it.  Posts made
@@ -226,10 +449,15 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 			// addressed to it come from shards whose own events are at
 			// >= min2, so it may run to min(min2, min1+lookahead) +
 			// lookahead.  A lone shard has no one to hear from at all.
+			// (With wiring information the generalised rule in horizonFor
+			// replaces this; on a complete graph with no send promises it
+			// reduces to exactly this formula.)
 			var hzn Time
 			switch {
 			case len(c.shards) == 1:
 				hzn = MaxTime
+			case c.wired:
+				hzn = c.horizonFor(s)
 			case s.id == owner:
 				h2 := min2
 				if h2 > min1+c.lookahead {
@@ -243,12 +471,41 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 				hzn = limit + 1
 			}
 			s.hzn = hzn
-			if t, ok := s.k.NextTime(); ok && t < hzn {
+			if c.nts[s.id] < hzn {
 				active = append(active, s)
 			}
 		}
+		c.activeBuf = active
 		c.runWindow(active)
 	}
+}
+
+// horizonFor computes a shard's window bound from actual wiring: the
+// earliest instant externally-visible activity anywhere could reach s.
+// Shard q's first possible external action is sendBound(q) — its next
+// event, except that a runner's quiet promise discounts the promised
+// continuation up to the promised time — and the fastest route from q
+// to s adds dist[q][s] (for q = s, the shortest round trip out and
+// back, since a shard's own event can bound it only via an echo).
+// Pairs with no connecting path contribute nothing: a severed or
+// unwired neighbourhood cannot affect s at all.  On a complete graph
+// with no promises this reduces exactly to the min1/min2 rule.
+func (c *Coordinator) horizonFor(s *Shard) Time {
+	hzn := MaxTime
+	minSb := c.minSendBound
+	for _, e := range c.byDist[s.id] {
+		if hzn < MaxTime && e.d+minSb >= hzn {
+			break
+		}
+		sb := c.sendBounds[e.q]
+		if sb >= infTime {
+			continue
+		}
+		if h := sb + e.d; h < hzn {
+			hzn = h
+		}
+	}
+	return hzn
 }
 
 // startPool launches the helper goroutines for a run.  With one worker
@@ -403,6 +660,12 @@ type Shard struct {
 	k    *Kernel
 	hzn  Time
 	xseq uint64
+
+	// The current quiet promise (see PromiseQuiet): the pending event
+	// promiseID will not act externally before promiseUntil.  Written
+	// only by the shard's own window execution, read only at barriers.
+	promiseID    EventID
+	promiseUntil Time
 }
 
 // ID returns the shard's index within its coordinator.
@@ -456,6 +719,41 @@ func (s *Shard) tag(id EventID) EventID {
 
 // NextTime reports the earliest pending event on this shard.
 func (s *Shard) NextTime() (Time, bool) { return s.k.NextTime() }
+
+// PromiseQuiet records a batch runner's send promise: the pending
+// event id (the runner's continuation) will not start or acknowledge
+// any link transfer before the given time, because the predecoded
+// instructions ahead of it are pure compute with a known minimum cycle
+// cost.  The promise dies with the event: once id fires it is ignored,
+// and the runner issues a fresh one (or none) at its next batch end.
+func (s *Shard) PromiseQuiet(id EventID, until Time) {
+	s.promiseID = id & (1<<shardIDShift - 1)
+	s.promiseUntil = until
+}
+
+// sendBoundAt is the earliest instant this shard could act in a way
+// visible outside it, given nt, its already-peeked next event time.
+// Without a live promise that is simply nt; with one, the promised
+// continuation is discounted up to the promised time — the other
+// pending events still bound the answer, because any of them could
+// cascade into a send at its own instant.  The promise can only
+// matter when the promised event is the head of the queue: any other
+// head is an unpromised event already bounding sends at nt, so the
+// (linear) scan for the second-earliest event runs only for shards
+// genuinely quiet at their horizon.
+func (s *Shard) sendBoundAt(nt Time) Time {
+	if nt == MaxTime || s.promiseUntil <= nt {
+		return nt
+	}
+	if _, head, ok := s.k.NextEvent(); !ok || head != s.promiseID {
+		return nt
+	}
+	b := s.promiseUntil
+	if rest, ok := s.k.NextTimeExcluding(s.promiseID); ok && rest < b {
+		b = rest
+	}
+	return b
+}
 
 // Horizon is the exclusive bound of the shard's current window.
 func (s *Shard) Horizon() Time { return s.hzn }
