@@ -1,0 +1,40 @@
+// Tflow renders a message-flow document saved by trun -flows or
+// tnet -flows: per-channel/per-link latency histograms, the run's
+// critical path, and the slowest flows with their retry tails.
+//
+// Usage:
+//
+//	tflow [-top n] flows.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transputer/internal/probe"
+)
+
+func main() {
+	top := flag.Int("top", 20, "slowest flows to print (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tflow [-top n] flows.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	doc, err := probe.ReadFlowDoc(f)
+	if err != nil {
+		fatal(err)
+	}
+	doc.Report(os.Stdout, *top)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tflow:", err)
+	os.Exit(1)
+}

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	tnet [-stats] [-timeline out.json] [-metrics] [-prof out.prof]
-//	     [-profperiod us] [-seed n] [-workers n] [-blockcache=false]
-//	     network.tnet
+//	tnet [-stats] [-timeline out.json] [-metrics] [-flows out.json]
+//	     [-prof out.prof] [-profperiod us] [-seed n] [-workers n]
+//	     [-blockcache=false] network.tnet
 //
 // -seed overrides the topology file's seed directive, so one fault
 // campaign file can be replayed under many seeds.
@@ -29,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads for the parallel engine (1 = sequential; output is identical at any count)")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
 	metrics := flag.Bool("metrics", false, "print probe metrics (utilization, run queues, links)")
+	flows := flag.String("flows", "", "trace message flows and write the flow document (spans, latency histograms, critical path) to this file")
 	prof := flag.String("prof", "", "sample every node's instruction pointer and write a profile to this file")
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	seed := flag.Uint64("seed", 0, "override the topology's fault-plan seed")
@@ -65,6 +66,9 @@ func main() {
 	}
 	if *metrics {
 		obs.EnableMetrics()
+	}
+	if *flows != "" {
+		obs.EnableFlows(*flows, tool.LineResolver(net.Programs))
 	}
 	if *prof != "" {
 		obs.EnableProfile(*prof, sim.Time(*profPeriod)*sim.Microsecond)

@@ -2,7 +2,10 @@
 //
 // Usage:
 //
-//	tprof [-top n] profile.json
+//	tprof [-top n] [-flame] profile.json
+//
+// -flame emits folded-stacks output ("target;where count" lines) for
+// standard flamegraph tooling instead of the text report.
 package main
 
 import (
@@ -15,9 +18,10 @@ import (
 
 func main() {
 	top := flag.Int("top", 20, "rows to print per target (0 = all)")
+	flame := flag.Bool("flame", false, "emit folded stacks for flamegraph tooling")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tprof [-top n] profile.json")
+		fmt.Fprintln(os.Stderr, "usage: tprof [-top n] [-flame] profile.json")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -28,6 +32,12 @@ func main() {
 	p, err := probe.ReadProfile(f)
 	if err != nil {
 		fatal(err)
+	}
+	if *flame {
+		if err := p.WriteFolded(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	p.Report(os.Stdout, *top)
 }

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats]
-//	     [-timeline out.json] [-metrics] [-prof out.prof] [-profperiod us]
-//	     [-in w,w,...] [-workers n] [-blockcache=false] program.{occ,tasm,tix}
+//	     [-timeline out.json] [-metrics] [-flows out.json] [-prof out.prof]
+//	     [-profperiod us] [-in w,w,...] [-workers n] [-blockcache=false]
+//	     program.{occ,tasm,tix}
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	trace := flag.Bool("trace", false, "trace every instruction to standard error")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
 	metrics := flag.Bool("metrics", false, "print probe metrics (utilization, run queues, links)")
+	flows := flag.String("flows", "", "trace message flows and write the flow document (spans, latency histograms, critical path) to this file")
 	prof := flag.String("prof", "", "sample the instruction pointer and write a profile to this file")
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	input := flag.String("in", "", "comma-separated words queued for host input")
@@ -88,6 +90,10 @@ func main() {
 	}
 	if *metrics {
 		obs.EnableMetrics()
+	}
+	if *flows != "" {
+		progs := []tool.Program{{Node: n, Image: img, Path: flag.Arg(0)}}
+		obs.EnableFlows(*flows, tool.LineResolver(progs))
 	}
 	if *prof != "" {
 		obs.EnableProfile(*prof, sim.Time(*profPeriod)*sim.Microsecond)

@@ -51,7 +51,8 @@ func (m *Machine) outputMessage() int {
 		m.setWord(chAddr, m.Wdesc)
 		m.setWordIndex(w, wsPointer, ptr)
 		if m.bus != nil {
-			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true,
+				Flow: m.offerFlow(chAddr), IP: m.Iptr})
 		}
 		m.blockOnComm(BlockChanOut, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
@@ -67,7 +68,8 @@ func (m *Machine) outputMessage() int {
 		m.setWordIndex(w, wsPointer, ptr)
 		m.setWordIndex(partnerW, wsState, m.altReady())
 		if m.bus != nil {
-			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true,
+				Flow: m.offerFlow(chAddr), IP: m.Iptr})
 		}
 		m.blockOnComm(BlockChanOut, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
@@ -78,7 +80,8 @@ func (m *Machine) outputMessage() int {
 		m.setWordIndex(partnerW, wsState, m.altReady())
 		m.wake(chWord)
 		if m.bus != nil {
-			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true})
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr, Out: true,
+				Flow: m.offerFlow(chAddr), IP: m.Iptr})
 		}
 		m.blockOnComm(BlockChanOut, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
@@ -92,7 +95,7 @@ func (m *Machine) outputMessage() int {
 	m.stats.BytesOut += uint64(count)
 	if m.bus != nil {
 		m.emit(probe.Event{Kind: probe.ChanRendezvous, Proc: m.Wdesc, Addr: chAddr,
-			Bytes: count, Arg: int64(chWord)})
+			Bytes: count, Arg: int64(chWord), Flow: m.takeFlow(chAddr), IP: m.Iptr})
 	}
 	return m.completeTransfer(chWord, count)
 }
@@ -120,7 +123,8 @@ func (m *Machine) inputMessage() int {
 		m.setWord(chAddr, m.Wdesc)
 		m.setWordIndex(w, wsPointer, ptr)
 		if m.bus != nil {
-			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr})
+			m.emit(probe.Event{Kind: probe.ChanBlock, Proc: m.Wdesc, Addr: chAddr,
+				Flow: m.offerFlow(chAddr), IP: m.Iptr})
 		}
 		m.blockOnComm(BlockChanIn, chAddr, -1)
 		return isa.CommunicationCycles(0, m.wordBits)
@@ -134,7 +138,7 @@ func (m *Machine) inputMessage() int {
 	m.stats.BytesIn += uint64(count)
 	if m.bus != nil {
 		m.emit(probe.Event{Kind: probe.ChanRendezvous, Proc: m.Wdesc, Addr: chAddr,
-			Bytes: count, Arg: int64(chWord)})
+			Bytes: count, Arg: int64(chWord), Flow: m.takeFlow(chAddr), IP: m.Iptr})
 	}
 	return m.completeTransfer(chWord, count)
 }
@@ -164,16 +168,37 @@ func (m *Machine) externalTransfer(link int, chAddr, ptr uint64, count int, outp
 		return 1
 	}
 	wdesc := m.Wdesc
+	ip := m.Iptr
+	var fl uint64
+	if m.bus != nil {
+		// Outputs mint the flow here and hand it to the engine so every
+		// packet of the transfer (and its acks, NAKs and retransmits)
+		// carries it across the wire; inputs learn their flow from the
+		// first packet that lands, so ask the engine — twice, since at
+		// start nothing may have arrived yet.
+		if output {
+			fl = m.newFlow()
+			if m.flowExt != nil {
+				m.flowExt.HandoffFlow(link, true, fl)
+			}
+		} else if m.flowExt != nil {
+			fl = m.flowExt.TransferFlow(link, false)
+		}
+	}
 	done := func() {
 		if m.bus != nil {
+			f := fl
+			if !output && m.flowExt != nil {
+				f = m.flowExt.TransferFlow(link, false)
+			}
 			m.emit(probe.Event{Kind: probe.LinkXferEnd, Proc: wdesc, Link: link,
-				Bytes: count, Out: output})
+				Bytes: count, Out: output, Flow: f, IP: ip})
 		}
 		m.wake(wdesc)
 	}
 	if m.bus != nil {
 		m.emit(probe.Event{Kind: probe.LinkXferStart, Proc: wdesc, Link: link,
-			Bytes: count, Out: output})
+			Bytes: count, Out: output, Flow: fl, IP: ip})
 	}
 	kind := BlockLinkIn
 	if output {

@@ -136,3 +136,17 @@ type External interface {
 	// available.
 	DisableInput(link int) bool
 }
+
+// FlowExternal is optionally implemented by an External to carry probe
+// flow identities across link transfers (see probe.FlowTable).  The
+// machine only calls these when a probe bus is attached, so an engine
+// may treat them as trace-only plumbing.
+type FlowExternal interface {
+	// HandoffFlow tells the engine which flow the transfer about to
+	// begin on the given link direction belongs to.
+	HandoffFlow(link int, out bool, flow uint64)
+	// TransferFlow reports the flow currently associated with a link
+	// direction: for inputs, the flow carried by the packets that have
+	// arrived (zero until the first packet lands).
+	TransferFlow(link int, out bool) uint64
+}

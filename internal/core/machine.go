@@ -99,6 +99,17 @@ type Machine struct {
 	// so a detached machine pays nothing.
 	bus *probe.Bus
 
+	// Flow-tracing state, only touched when a bus is attached: flows
+	// allocated here are packed (flowOrigin, sequence) pairs, chanFlows
+	// holds the flow offered on each internal channel word between
+	// ChanBlock and ChanRendezvous, and flowExt is the cached
+	// FlowExternal view of ext (nil when the engine doesn't carry
+	// flows).
+	flowOrigin uint64
+	flowSeq    uint64
+	chanFlows  map[uint64]uint64
+	flowExt    FlowExternal
+
 	// bc caches predecoded straight-line instruction blocks; curBlock
 	// and curIdx form the execution cursor into the block containing
 	// the current instruction pointer (see blockcache.go).
@@ -203,12 +214,15 @@ func (m *Machine) resetSchedState() {
 	m.blocked = make(map[uint64]BlockedProcess)
 	m.forcedHalt = ""
 	m.qlen[0], m.qlen[1] = 0, 0
+	m.flowSeq = 0
+	m.chanFlows = nil
 }
 
 // Attach provides the simulated clock and, optionally, the link engine.
 func (m *Machine) Attach(clock Clock, ext External) {
 	m.clock = clock
 	m.ext = ext
+	m.flowExt, _ = ext.(FlowExternal)
 }
 
 // OnReady registers the idle-to-ready callback used by the driver.
@@ -218,6 +232,40 @@ func (m *Machine) OnReady(fn func()) { m.onReady = fn }
 // bus.  With no bus attached the instrumentation is a nil check per
 // scheduling event and nothing more.
 func (m *Machine) AttachProbe(b *probe.Bus) { m.bus = b }
+
+// SetFlowOrigin fixes the origin half of flow identities this machine
+// allocates (see probe.PackFlow).  The network layer assigns each node
+// its creation ordinal so flows are globally unique and deterministic.
+func (m *Machine) SetFlowOrigin(origin uint64) { m.flowOrigin = origin }
+
+// newFlow allocates the next flow identity.  Called only under a
+// non-nil bus, so a detached run never advances the sequence.
+func (m *Machine) newFlow() uint64 {
+	m.flowSeq++
+	return probe.PackFlow(m.flowOrigin, m.flowSeq)
+}
+
+// offerFlow allocates a flow for a message offered on an internal
+// channel word and remembers it until the rendezvous completes.
+func (m *Machine) offerFlow(chAddr uint64) uint64 {
+	fl := m.newFlow()
+	if m.chanFlows == nil {
+		m.chanFlows = make(map[uint64]uint64)
+	}
+	m.chanFlows[chAddr] = fl
+	return fl
+}
+
+// takeFlow consumes the flow offered on a channel word at rendezvous.
+// A missing entry (the partner blocked before the probe attached)
+// yields a fresh flow so the rendezvous still joins one.
+func (m *Machine) takeFlow(chAddr uint64) uint64 {
+	if fl, ok := m.chanFlows[chAddr]; ok {
+		delete(m.chanFlows, chAddr)
+		return fl
+	}
+	return m.newFlow()
+}
 
 // emit stamps and publishes a probe event.  Callers must have checked
 // m.bus != nil.

@@ -73,9 +73,10 @@ const (
 type packet struct {
 	kind    packetKind
 	bits    int
-	payload byte // data byte (pktData)
-	seq     byte // sequence bit (error-detecting mode)
-	crc     byte // check trailer (error-detecting mode)
+	payload byte   // data byte (pktData)
+	seq     byte   // sequence bit (error-detecting mode)
+	crc     byte   // check trailer (error-detecting mode)
+	flow    uint64 // probe flow identity carried across the wire; 0 untraced
 
 	onTxEnd      func()
 	deliverStart func()
@@ -192,17 +193,17 @@ func (w *wire) transmitNext() {
 		w.stats.DataBytes++
 	}
 	w.emit(probe.Event{Kind: probe.WirePacket,
-		Ack: isCtl, Bytes: boolByte(!isCtl), Dur: sim.Time(dur)})
+		Ack: isCtl, Bytes: boolByte(!isCtl), Dur: sim.Time(dur), Flow: p.flow})
 	if act.Delay > 0 {
-		w.emit(probe.Event{Kind: probe.FaultDelay, Ack: isCtl, Dur: act.Delay})
+		w.emit(probe.Event{Kind: probe.FaultDelay, Ack: isCtl, Dur: act.Delay, Flow: p.flow})
 	}
 	if act.Corrupt != 0 && p.kind == pktData {
 		p.payload ^= act.Corrupt
-		w.emit(probe.Event{Kind: probe.FaultCorrupt, Arg: int64(act.Corrupt)})
+		w.emit(probe.Event{Kind: probe.FaultCorrupt, Arg: int64(act.Corrupt), Flow: p.flow})
 	}
 	dropped := act.Drop || w.severed
 	if act.Drop && !w.severed {
-		w.emit(probe.Event{Kind: probe.FaultDrop, Ack: isCtl})
+		w.emit(probe.Event{Kind: probe.FaultDrop, Ack: isCtl, Flow: p.flow})
 	}
 	if w.post != nil {
 		// Cross-shard receiver: both callbacks travel through the
@@ -279,6 +280,11 @@ type outHalf struct {
 	// measuring the wait for its acknowledge.
 	txEndAt sim.Time
 
+	// flow is the probe flow identity of the transfer in progress,
+	// handed over by the machine (core.FlowExternal); every packet of
+	// the transfer carries it.  Zero when untraced.
+	flow uint64
+
 	// rel is the error-detecting-mode sender state (see reliable.go).
 	rel relSender
 }
@@ -312,6 +318,14 @@ type inHalf struct {
 	eng  *Engine
 	link int
 
+	// flow is the probe flow identity carried by the packets arriving on
+	// this half — acknowledges and NAKs echo it back so the retry tail
+	// stays on the flow; flowSeen is the last flow for which a
+	// FlowArrive event was published (once per flow, on its first
+	// packet).
+	flow     uint64
+	flowSeen uint64
+
 	// rel is the error-detecting-mode receiver state (see reliable.go).
 	rel relReceiver
 }
@@ -333,7 +347,10 @@ type Engine struct {
 	onSever func(link int)
 }
 
-var _ core.External = (*Engine)(nil)
+var (
+	_ core.External     = (*Engine)(nil)
+	_ core.FlowExternal = (*Engine)(nil)
+)
 
 // NewEngine builds a link engine for a machine and attaches it.  The
 // clock is the machine's own scheduling domain — a standalone kernel
@@ -352,6 +369,32 @@ func (e *Engine) AttachProbe(b *probe.Bus) { e.bus = b }
 
 // OnSever registers the link-cut callback (see Engine.onSever).
 func (e *Engine) OnSever(fn func(link int)) { e.onSever = fn }
+
+// HandoffFlow implements core.FlowExternal: the machine tells the
+// engine which flow the transfer about to begin on a link belongs to.
+func (e *Engine) HandoffFlow(link int, out bool, flow uint64) {
+	if link < 0 || link >= core.NumLinks {
+		return
+	}
+	if out {
+		e.outs[link].flow = flow
+	} else {
+		e.ins[link].flow = flow
+	}
+}
+
+// TransferFlow implements core.FlowExternal: the flow currently
+// associated with a link direction.  For inputs this is the flow
+// carried by arrived packets, zero until the first one lands.
+func (e *Engine) TransferFlow(link int, out bool) uint64 {
+	if link < 0 || link >= core.NumLinks {
+		return 0
+	}
+	if out {
+		return e.outs[link].flow
+	}
+	return e.ins[link].flow
+}
 
 // emit stamps and publishes a probe event under the engine's machine.
 // Callers must have checked e.bus != nil.
@@ -443,12 +486,14 @@ func (o *outHalf) sendByte() {
 		return
 	}
 	in := o.peer
+	fl := o.flow
 	o.wire.send(packet{
 		kind:         pktData,
 		bits:         DataBits,
 		payload:      b,
-		deliverStart: func() { in.dataStart() },
-		deliver:      func(p packet) { in.dataArrive(p.payload) },
+		flow:         fl,
+		deliverStart: func() { in.dataStart(fl) },
+		deliver:      func(p packet) { in.dataArrive(p) },
 		onTxEnd:      func() { o.txEnd() },
 	})
 }
@@ -468,7 +513,7 @@ func (o *outHalf) ackArrived() {
 	if o.txEnded && !o.acked && o.eng != nil && o.eng.bus != nil {
 		if stall := o.eng.k.Now() - o.txEndAt; stall > 0 {
 			o.eng.emit(probe.Event{Kind: probe.AckStall, Link: o.link,
-				Dur: stall})
+				Dur: stall, Flow: o.flow})
 		}
 	}
 	o.acked = true
@@ -532,8 +577,10 @@ func (in *inHalf) start(write func(i int, b byte), count int, done func()) {
 
 // dataStart fires when a data packet begins arriving: the acknowledge
 // goes out immediately if a process is waiting, making streaming
-// continuous.
-func (in *inHalf) dataStart() {
+// continuous.  The flow is noted before the overlapped acknowledge is
+// built so the ack already carries it.
+func (in *inHalf) dataStart(flow uint64) {
+	in.noteFlow(flow)
 	in.ackSentAtStart = false
 	if in.active && !in.stopAndWait {
 		in.sendAck()
@@ -541,8 +588,30 @@ func (in *inHalf) dataStart() {
 	}
 }
 
+// noteFlow records the flow arriving on this half and publishes a
+// FlowArrive event the first time each flow's packets reach this node —
+// the instant the flow crosses the wire and joins this node's timeline.
+func (in *inHalf) noteFlow(flow uint64) {
+	if flow == 0 {
+		return
+	}
+	in.flow = flow
+	if flow == in.flowSeen || in.eng == nil || in.eng.bus == nil {
+		return
+	}
+	in.flowSeen = flow
+	// Stamped with time and node but not the machine cycle counter: the
+	// receiving CPU runs asynchronously to its link hardware, and its
+	// cycle count at this instant depends on simulator batching (the
+	// block cache), not on architecture.
+	in.eng.bus.Publish(probe.Event{Kind: probe.FlowArrive, Link: in.link, Flow: flow,
+		Time: in.eng.k.Now(), Node: in.eng.m.Name()})
+}
+
 // dataArrive fires when the data packet completes.
-func (in *inHalf) dataArrive(b byte) {
+func (in *inHalf) dataArrive(p packet) {
+	in.noteFlow(p.flow)
+	b := p.payload
 	if in.active {
 		in.store(b)
 		if !in.ackSentAtStart {
@@ -580,6 +649,7 @@ func (in *inHalf) sendAck() {
 	in.ackWire.send(packet{
 		kind:    pktAck,
 		bits:    AckBits,
+		flow:    in.flow,
 		deliver: func(packet) { out.ackArrived() },
 	})
 }

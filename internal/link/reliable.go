@@ -93,6 +93,7 @@ func (o *outHalf) sendReliable(b byte) {
 		payload: b,
 		seq:     o.rel.seq,
 		crc:     crc8(b, o.rel.seq),
+		flow:    o.flow,
 		deliver: func(p packet) { in.relDataArrive(p) },
 		onTxEnd: func() { o.relTxEnd() },
 	})
@@ -136,13 +137,13 @@ func (o *outHalf) retransmit() {
 		o.rel.failed = true
 		if o.eng != nil && o.eng.bus != nil {
 			o.eng.emit(probe.Event{Kind: probe.LinkDown, Link: o.link,
-				Arg: int64(o.rel.maxRetries)})
+				Arg: int64(o.rel.maxRetries), Flow: o.flow})
 		}
 		return
 	}
 	if o.eng != nil && o.eng.bus != nil {
 		o.eng.emit(probe.Event{Kind: probe.LinkRetransmit, Link: o.link,
-			Arg: int64(o.rel.retries)})
+			Arg: int64(o.rel.retries), Flow: o.flow})
 	}
 	o.sendReliable(o.rel.cur)
 }
@@ -155,7 +156,8 @@ func (o *outHalf) relAckArrived(seq byte) {
 	o.cancelRetryTimer()
 	if o.txEnded && o.eng != nil && o.eng.bus != nil {
 		if stall := o.eng.k.Now() - o.txEndAt; stall > 0 {
-			o.eng.emit(probe.Event{Kind: probe.AckStall, Link: o.link, Dur: stall})
+			o.eng.emit(probe.Event{Kind: probe.AckStall, Link: o.link, Dur: stall,
+				Flow: o.flow})
 		}
 	}
 	o.acked = true
@@ -174,8 +176,11 @@ func (o *outHalf) relNakArrived() {
 	o.retransmit()
 }
 
-// relDataArrive handles a data packet in error-detecting mode.
+// relDataArrive handles a data packet in error-detecting mode.  The
+// flow is noted even for corrupt packets — the flow's bits did reach
+// this node, and the NAK that answers them should stay on the flow.
 func (in *inHalf) relDataArrive(p packet) {
+	in.noteFlow(p.flow)
 	if crc8(p.payload, p.seq) != p.crc {
 		in.sendNak()
 		return
@@ -215,18 +220,20 @@ func (in *inHalf) sendRelAck(seq byte) {
 		kind:    pktAck,
 		bits:    RelAckBits,
 		seq:     seq,
+		flow:    in.flow,
 		deliver: func(p packet) { out.relAckArrived(p.seq) },
 	})
 }
 
 func (in *inHalf) sendNak() {
 	if in.eng != nil && in.eng.bus != nil {
-		in.eng.emit(probe.Event{Kind: probe.LinkNak, Link: in.link})
+		in.eng.emit(probe.Event{Kind: probe.LinkNak, Link: in.link, Flow: in.flow})
 	}
 	out := in.peerOut
 	in.ackWire.send(packet{
 		kind:    pktNak,
 		bits:    NakBits,
+		flow:    in.flow,
 		deliver: func(packet) { out.relNakArrived() },
 	})
 }

@@ -133,6 +133,7 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 	n.Engine = link.NewEngine(n.shard, m)
 	n.Engine.OnSever(func(l int) { s.linkSevered(n, l) })
 	m.Attach(shardClock{n.shard}, n.Engine)
+	m.SetFlowOrigin(uint64(len(s.nodes)) + 1)
 	if s.bus != nil {
 		s.attachCollector(n)
 	}

@@ -1,0 +1,505 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"transputer/internal/sim"
+)
+
+// FlowTable reconstructs causal message flows from the probe stream: a
+// flow is one message's journey — offered to a channel or link, carried
+// across a wire packet by packet (with any retransmits, NAKs and drops
+// on the way), and completed at a rendezvous or the receiver's transfer
+// end.  The table groups every event stamped with a flow identity,
+// derives per-flow span components, per-channel/per-link latency
+// histograms, and the run's critical path: the chain of flow and
+// compute spans whose durations sum exactly to the end-to-end
+// completion time.
+//
+// The table consumes the deterministically merged bus stream, so its
+// output is byte-identical at any worker count.
+type FlowTable struct {
+	byID  map[uint64]*flowRec
+	order []*flowRec
+
+	// lastNode/lastTime track the globally latest event of the run —
+	// the critical path is walked backward from there.
+	lastNode string
+	lastTime sim.Time
+
+	// Resolve, when set, maps (node, instruction pointer) to an occam
+	// source location used to annotate flows and the critical path.
+	Resolve func(node string, iptr uint64) string
+
+	doc *FlowDoc
+}
+
+// flowRec accumulates one flow's events.
+type flowRec struct {
+	id        uint64
+	start     sim.Time
+	end       sim.Time
+	startNode string
+	endNode   string
+	startIP   uint64
+
+	isChan bool
+	addr   uint64 // channel word (chan flows)
+	link   int    // sender's link index (link flows)
+	src    string // sender node
+	dst    string // receiver node; "" when the far end is a host
+	bytes  int
+
+	xferStart  sim.Time // sender's LinkXferStart
+	firstData  sim.Time // first data packet on the wire
+	hasData    bool
+	rendezvous sim.Time // ChanRendezvous (chan flows)
+	hasRendez  bool
+
+	wireNs     int64 // first-transmission data packet time
+	retransNs  int64 // retransmitted data packet time
+	ackNs      int64 // acknowledge/NAK packet time
+	ackStallNs int64 // sender dead time waiting for acks
+
+	pendingRetrans int
+	retransmits    int
+	naks           int
+	drops          int
+	corrupts       int
+	down           bool
+}
+
+// NewFlowTable subscribes a fresh flow table to the bus.
+func NewFlowTable(b *Bus) *FlowTable {
+	t := &FlowTable{byID: make(map[uint64]*flowRec)}
+	b.Subscribe(t.consume)
+	return t
+}
+
+func (t *FlowTable) consume(e Event) {
+	if e.Node != "" && e.Time >= t.lastTime {
+		t.lastTime = e.Time
+		t.lastNode = e.Node
+	}
+	if e.Flow == 0 {
+		return
+	}
+	r, ok := t.byID[e.Flow]
+	if !ok {
+		r = &flowRec{id: e.Flow, start: e.Time, startNode: e.Node, link: -1}
+		t.byID[e.Flow] = r
+		t.order = append(t.order, r)
+	}
+	r.end = e.Time
+	r.endNode = e.Node
+	switch e.Kind {
+	case ChanBlock:
+		r.isChan = true
+		r.addr = e.Addr
+		r.src = e.Node
+		r.dst = e.Node
+		if r.startIP == 0 {
+			r.startIP = e.IP
+		}
+	case ChanRendezvous:
+		r.isChan = true
+		r.addr = e.Addr
+		if r.src == "" {
+			r.src = e.Node
+			r.dst = e.Node
+		}
+		if r.startIP == 0 {
+			r.startIP = e.IP
+		}
+		r.rendezvous = e.Time
+		r.hasRendez = true
+		r.bytes = e.Bytes
+	case LinkXferStart:
+		if e.Out {
+			r.src = e.Node
+			r.link = e.Link
+			r.bytes = e.Bytes
+			r.xferStart = e.Time
+			if r.startIP == 0 {
+				r.startIP = e.IP
+			}
+		} else {
+			r.dst = e.Node
+		}
+	case LinkXferEnd:
+		if !e.Out {
+			r.dst = e.Node
+		}
+	case FlowArrive:
+		r.dst = e.Node
+	case WirePacket:
+		if e.Ack {
+			r.ackNs += int64(e.Dur)
+			break
+		}
+		if !r.hasData {
+			r.hasData = true
+			r.firstData = e.Time
+		}
+		if r.pendingRetrans > 0 {
+			r.pendingRetrans--
+			r.retransNs += int64(e.Dur)
+		} else {
+			r.wireNs += int64(e.Dur)
+		}
+	case AckStall:
+		r.ackStallNs += int64(e.Dur)
+	case LinkRetransmit:
+		r.retransmits++
+		r.pendingRetrans++
+	case LinkNak:
+		r.naks++
+	case FaultDrop:
+		r.drops++
+	case FaultCorrupt:
+		r.corrupts++
+	case LinkDown:
+		r.down = true
+	}
+}
+
+// FlowDoc is the JSON document the table exports.  Every duration is an
+// integer nanosecond count so the document is byte-stable.
+type FlowDoc struct {
+	// EndNs is the run's end-to-end completion time.
+	EndNs int64 `json:"end_ns"`
+	// Flows lists every flow in discovery (merged stream) order.
+	Flows []FlowInfo `json:"flows"`
+	// Histograms aggregates completion latency per channel/link key,
+	// sorted by key.
+	Histograms []FlowHistogram `json:"histograms"`
+	// CriticalPath is the chronological chain of spans covering
+	// [0, EndNs] with no gaps: its durations sum to exactly EndNs.
+	CriticalPath []PathSpan `json:"critical_path"`
+	// CriticalPathNs is that sum, restated for consumers.
+	CriticalPathNs int64 `json:"critical_path_ns"`
+}
+
+// FlowInfo is one flow's record.
+type FlowInfo struct {
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "chan" or "link"
+	Src  string `json:"src"`
+	Dst  string `json:"dst"` // "" when the far end is a host device
+	Link int    `json:"link"`
+	Addr uint64 `json:"addr"`
+
+	Bytes   int   `json:"bytes"`
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+
+	// Span components.  Queue is the wait between the sender's
+	// transfer start and the first bit on the wire; Wire and Retrans
+	// split data-packet wire time into first transmissions and
+	// retransmissions; Ack is acknowledge/NAK wire time; AckStall is
+	// sender dead time waiting for acknowledges; Wait is the
+	// rendezvous wait of an internal channel flow.
+	QueueNs    int64 `json:"queue_ns"`
+	WireNs     int64 `json:"wire_ns"`
+	RetransNs  int64 `json:"retrans_ns"`
+	AckNs      int64 `json:"ack_ns"`
+	AckStallNs int64 `json:"ack_stall_ns"`
+	WaitNs     int64 `json:"wait_ns"`
+
+	Retransmits int    `json:"retransmits"`
+	Naks        int    `json:"naks"`
+	Drops       int    `json:"drops"`
+	Corrupts    int    `json:"corrupts"`
+	Down        bool   `json:"down"`
+	Loc         string `json:"loc,omitempty"` // occam source of the send site
+}
+
+// FlowHistogram is the completion-latency distribution of one channel
+// or link (nearest-rank percentiles).
+type FlowHistogram struct {
+	Key   string `json:"key"`
+	Count int    `json:"count"`
+	Bytes int64  `json:"bytes"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
+// PathSpan is one hop of the critical path: either a flow crossing to
+// the node where the next span continues, or the compute (and idle)
+// time a node spent between flows.
+type PathSpan struct {
+	Node    string `json:"node"`
+	What    string `json:"what"` // "compute" or the flow's name
+	FlowID  uint64 `json:"flow_id,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Loc     string `json:"loc,omitempty"`
+}
+
+// key returns the grouping identity for naming and histograms.
+func (r *flowRec) key() string {
+	if r.isChan {
+		return fmt.Sprintf("%s ch@%#x", r.src, r.addr)
+	}
+	dst := r.dst
+	if dst == "" {
+		dst = "ext"
+	}
+	return fmt.Sprintf("%s.L%d>%s", r.src, r.link, dst)
+}
+
+// Finish freezes the table at the run's end time and builds the
+// document.
+func (t *FlowTable) Finish(end sim.Time) {
+	doc := &FlowDoc{EndNs: int64(end)}
+
+	// Name flows per key in discovery order, and build their records.
+	ordinals := map[string]int{}
+	for _, r := range t.order {
+		k := r.key()
+		ordinals[k]++
+		name := fmt.Sprintf("%s#%d", k, ordinals[k])
+		fi := FlowInfo{
+			ID:   r.id,
+			Name: name,
+			Kind: "link",
+			Src:  r.src,
+			Dst:  r.dst,
+			Link: r.link,
+			Addr: r.addr,
+
+			Bytes:   r.bytes,
+			StartNs: int64(r.start),
+			EndNs:   int64(r.end),
+
+			WireNs:     r.wireNs,
+			RetransNs:  r.retransNs,
+			AckNs:      r.ackNs,
+			AckStallNs: r.ackStallNs,
+
+			Retransmits: r.retransmits,
+			Naks:        r.naks,
+			Drops:       r.drops,
+			Corrupts:    r.corrupts,
+			Down:        r.down,
+		}
+		if r.isChan {
+			fi.Kind = "chan"
+			if r.hasRendez {
+				fi.WaitNs = int64(r.rendezvous - r.start)
+			}
+		} else if r.hasData && r.firstData > r.xferStart {
+			fi.QueueNs = int64(r.firstData - r.xferStart)
+		}
+		if t.Resolve != nil && r.startIP != 0 {
+			fi.Loc = t.Resolve(r.startNode, r.startIP)
+		}
+		doc.Flows = append(doc.Flows, fi)
+	}
+
+	// Latency histograms per key, sorted by key for stable output.
+	group := map[string][]*flowRec{}
+	var keys []string
+	for _, r := range t.order {
+		k := r.key()
+		if _, ok := group[k]; !ok {
+			keys = append(keys, k)
+		}
+		group[k] = append(group[k], r)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rs := group[k]
+		lat := make([]int64, 0, len(rs))
+		var bytes int64
+		for _, r := range rs {
+			lat = append(lat, int64(r.end-r.start))
+			bytes += int64(r.bytes)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		doc.Histograms = append(doc.Histograms, FlowHistogram{
+			Key:   k,
+			Count: len(rs),
+			Bytes: bytes,
+			P50Ns: rank(lat, 50),
+			P95Ns: rank(lat, 95),
+			P99Ns: rank(lat, 99),
+			MaxNs: lat[len(lat)-1],
+		})
+	}
+
+	doc.CriticalPath = t.criticalPath(end)
+	for _, s := range doc.CriticalPath {
+		doc.CriticalPathNs += s.DurNs
+	}
+	t.doc = doc
+}
+
+// rank returns the nearest-rank percentile of a sorted slice.
+func rank(sorted []int64, pct int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (pct*len(sorted) + 99) / 100 // ceil(pct/100 * n)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// criticalPath walks backward from the run's end at the node of the
+// globally latest event.  At each step it finds the latest-ending flow
+// that arrived at the current node before the current instant, charges
+// the gap since that arrival to the node as compute, crosses the flow
+// back to its origin, and repeats; the walk terminates with the
+// origin's compute span from time zero.  The spans tile [0, end] with
+// no gaps or overlaps, so their durations sum exactly to the
+// end-to-end completion time.
+func (t *FlowTable) criticalPath(end sim.Time) []PathSpan {
+	names := map[uint64]string{}
+	ordinals := map[string]int{}
+	for _, r := range t.order {
+		k := r.key()
+		ordinals[k]++
+		names[r.id] = fmt.Sprintf("%s#%d", k, ordinals[k])
+	}
+
+	// Index flows by the node their last event landed on.
+	arrivals := map[string][]*flowRec{}
+	for _, r := range t.order {
+		arrivals[r.endNode] = append(arrivals[r.endNode], r)
+	}
+
+	var rev []PathSpan
+	node := t.lastNode
+	tcur := end
+	for {
+		var best *flowRec
+		for _, r := range arrivals[node] {
+			if r.end > tcur || r.start >= tcur {
+				continue
+			}
+			if best == nil || r.end > best.end ||
+				(r.end == best.end && (r.start > best.start ||
+					(r.start == best.start && r.id < best.id))) {
+				best = r
+			}
+		}
+		if best == nil {
+			rev = append(rev, PathSpan{Node: node, What: "compute",
+				StartNs: 0, DurNs: int64(tcur)})
+			break
+		}
+		if best.end < tcur {
+			rev = append(rev, PathSpan{Node: node, What: "compute",
+				StartNs: int64(best.end), DurNs: int64(tcur - best.end)})
+		}
+		sp := PathSpan{Node: best.startNode, What: names[best.id], FlowID: best.id,
+			StartNs: int64(best.start), DurNs: int64(best.end - best.start)}
+		if t.Resolve != nil && best.startIP != 0 {
+			sp.Loc = t.Resolve(best.startNode, best.startIP)
+		}
+		rev = append(rev, sp)
+		tcur = best.start
+		node = best.startNode
+	}
+	path := make([]PathSpan, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+// Doc returns the document built by Finish.
+func (t *FlowTable) Doc() *FlowDoc { return t.doc }
+
+// WriteJSON writes the document built by Finish.
+func (t *FlowTable) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.doc)
+}
+
+// Report prints the summary tables; top bounds the slowest-flows list
+// (0 means all).
+func (t *FlowTable) Report(w io.Writer, top int) { t.doc.Report(w, top) }
+
+// ReadFlowDoc parses a document written by WriteJSON.
+func ReadFlowDoc(r io.Reader) (*FlowDoc, error) {
+	var doc FlowDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Report prints the flow summary: per-key latency histograms, the
+// critical path, and the slowest flows (top bounds the list; 0 means
+// all).
+func (d *FlowDoc) Report(w io.Writer, top int) {
+	fmt.Fprintf(w, "flow tracing: %d flows, end-to-end %v\n",
+		len(d.Flows), sim.Time(d.EndNs))
+	if len(d.Histograms) > 0 {
+		fmt.Fprintf(w, "  latency by channel/link (count p50 p95 p99 max):\n")
+		for _, h := range d.Histograms {
+			fmt.Fprintf(w, "    %-24s %5d  %10v %10v %10v %10v\n", h.Key, h.Count,
+				sim.Time(h.P50Ns), sim.Time(h.P95Ns), sim.Time(h.P99Ns), sim.Time(h.MaxNs))
+		}
+	}
+	fmt.Fprintf(w, "  critical path (%d spans, sums to %v):\n",
+		len(d.CriticalPath), sim.Time(d.CriticalPathNs))
+	for _, s := range d.CriticalPath {
+		loc := ""
+		if s.Loc != "" {
+			loc = "  (" + s.Loc + ")"
+		}
+		what := s.What
+		if s.What == "compute" {
+			what = "compute " + s.Node
+		}
+		fmt.Fprintf(w, "    %10v  %-28s %10v%s\n",
+			sim.Time(s.StartNs), what, sim.Time(s.DurNs), loc)
+	}
+	slow := make([]FlowInfo, len(d.Flows))
+	copy(slow, d.Flows)
+	sort.SliceStable(slow, func(i, j int) bool {
+		di := slow[i].EndNs - slow[i].StartNs
+		dj := slow[j].EndNs - slow[j].StartNs
+		if di != dj {
+			return di > dj
+		}
+		return slow[i].ID < slow[j].ID
+	})
+	if top > 0 && len(slow) > top {
+		slow = slow[:top]
+	}
+	if len(slow) > 0 {
+		fmt.Fprintf(w, "  slowest flows (latency bytes wire retrans ack-stall):\n")
+		for _, f := range slow {
+			tail := ""
+			if f.Retransmits > 0 || f.Naks > 0 || f.Drops > 0 {
+				tail = fmt.Sprintf("  [%d retrans, %d naks, %d drops]",
+					f.Retransmits, f.Naks, f.Drops)
+			}
+			if f.Down {
+				tail += "  LINK DOWN"
+			}
+			loc := ""
+			if f.Loc != "" {
+				loc = "  (" + f.Loc + ")"
+			}
+			fmt.Fprintf(w, "    %-24s %10v %6d %10v %10v %10v%s%s\n",
+				f.Name, sim.Time(f.EndNs-f.StartNs), f.Bytes,
+				sim.Time(f.WireNs), sim.Time(f.RetransNs), sim.Time(f.AckStallNs), loc, tail)
+		}
+	}
+}

@@ -286,3 +286,24 @@ func (m *Metrics) NodeBusy(name string) sim.Time {
 	}
 	return 0
 }
+
+// QueueStats returns a node's run-queue integration for one priority
+// (after Finish): the time-weighted average depth over the run and the
+// maximum depth observed.
+func (m *Metrics) QueueStats(name string, pri int) (avg float64, max int) {
+	n, ok := m.nodes[name]
+	if !ok || pri < 0 || pri > 1 {
+		return 0, 0
+	}
+	return avgDepth(n.queues[pri], m.end), n.queues[pri].max
+}
+
+// Switching returns a node's accumulated scheduler switch charge: the
+// preemption state-save and dispatch restore time carried on Preempt
+// and ProcDispatch events.
+func (m *Metrics) Switching(name string) sim.Time {
+	if n, ok := m.nodes[name]; ok {
+		return n.switching
+	}
+	return 0
+}

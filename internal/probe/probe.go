@@ -96,6 +96,11 @@ const (
 	// time unable to advance.  Proc, Addr and Link describe what it was
 	// waiting for; Arg encodes the core.BlockKind.
 	Deadlock
+	// FlowArrive: the first packet of a message flow reached this node's
+	// link receiver — the instant a flow crosses the wire and joins the
+	// receiving node's timeline.  Link is the receiving link index, Flow
+	// the flow identity carried by the packet.
+	FlowArrive
 
 	numKinds
 )
@@ -125,6 +130,7 @@ var kindNames = [numKinds]string{
 	LinkSever:      "link.sever",
 	NodeHalt:       "node.halt",
 	Deadlock:       "deadlock",
+	FlowArrive:     "flow.arrive",
 }
 
 // String returns the event kind's dotted name.
@@ -166,7 +172,34 @@ type Event struct {
 	Out bool
 	// Arg carries kind-specific extra data.
 	Arg int64
+	// Flow is the causal message-flow identity this event belongs to
+	// (see FlowTable); zero when the event is not part of a flow, or
+	// when no probe bus was attached at the instant the flow would have
+	// been assigned.
+	Flow uint64
+	// IP is the publishing process's instruction pointer at the emit
+	// site, set on communication events (ChanBlock, ChanRendezvous,
+	// LinkXferStart/End) so flows can be annotated with occam source
+	// lines.  Zero elsewhere.
+	IP uint64
 }
+
+// Flow identities pack an origin (the allocating node's creation
+// ordinal, assigned by the network layer) and a per-origin sequence
+// number into one word, so they are globally unique, deterministic,
+// and cheap to carry in packets.
+const flowSeqBits = 40
+
+// PackFlow builds a flow identity from an origin and a sequence number.
+func PackFlow(origin, seq uint64) uint64 {
+	return origin<<flowSeqBits | seq&(1<<flowSeqBits-1)
+}
+
+// FlowOrigin extracts the origin half of a flow identity.
+func FlowOrigin(flow uint64) uint64 { return flow >> flowSeqBits }
+
+// FlowSeq extracts the sequence half of a flow identity.
+func FlowSeq(flow uint64) uint64 { return flow & (1<<flowSeqBits - 1) }
 
 // Bus fans events out to its subscribers.  It is used from the single
 // simulation goroutine only.

@@ -236,6 +236,27 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 	return &p, nil
 }
 
+// WriteFolded emits the profile as folded stacks — one
+// "target;where count" line per bucket, targets and buckets in profile
+// order — the input format of standard flamegraph tooling
+// (flamegraph.pl, inferno, speedscope).  Idle samples fold under a
+// synthetic "(idle)" frame so the graph shows total wall time.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for _, t := range p.Targets {
+		for _, b := range t.Buckets {
+			if _, err := fmt.Fprintf(w, "%s;%s %d\n", t.Name, b.Where, b.Samples); err != nil {
+				return err
+			}
+		}
+		if t.Idle > 0 {
+			if _, err := fmt.Fprintf(w, "%s;(idle) %d\n", t.Name, t.Idle); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Report renders the profile as text, top lines first.  top <= 0 means
 // every bucket.
 func (p *Profile) Report(w io.Writer, top int) {

@@ -1,0 +1,74 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleProfile() *Profile {
+	return &Profile{
+		PeriodNs: 10000,
+		Targets: []TargetProfile{{
+			Name: "main", Total: 10, Idle: 3, Attributed: 9,
+			Buckets: []Bucket{
+				{Where: "a.occ:5", Line: 5, Samples: 6, Source: "x := x + 1"},
+				{Where: "a.occ:9", Line: 9, Samples: 3, Source: "out ! x"},
+				{Where: "code+0x12", Samples: 1, Source: "ldl 2"},
+			},
+		}},
+	}
+}
+
+// TestProfileReportTopZero pins -top 0 ("all rows"): every bucket is
+// printed and no truncation marker appears.  Negative values behave
+// the same.
+func TestProfileReportTopZero(t *testing.T) {
+	for _, top := range []int{0, -1} {
+		var buf bytes.Buffer
+		sampleProfile().Report(&buf, top)
+		out := buf.String()
+		for _, want := range []string{"a.occ:5", "a.occ:9", "code+0x12"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("top=%d: missing row %q:\n%s", top, want, out)
+			}
+		}
+		if strings.Contains(out, "more rows") {
+			t.Errorf("top=%d: output truncated:\n%s", top, out)
+		}
+	}
+}
+
+// TestProfileReportTruncates pins the bounded report: top=2 prints the
+// two hottest rows and a truncation marker.
+func TestProfileReportTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	sampleProfile().Report(&buf, 2)
+	out := buf.String()
+	if !strings.Contains(out, "a.occ:5") || !strings.Contains(out, "a.occ:9") {
+		t.Errorf("top rows missing:\n%s", out)
+	}
+	if strings.Contains(out, "code+0x12") {
+		t.Errorf("row beyond top printed:\n%s", out)
+	}
+	if !strings.Contains(out, "... 1 more rows") {
+		t.Errorf("truncation marker missing:\n%s", out)
+	}
+}
+
+// TestProfileWriteFolded pins the folded-stacks format consumed by
+// flamegraph tooling: one "target;where count" line per bucket, idle
+// samples folded under "(idle)".
+func TestProfileWriteFolded(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleProfile().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "main;a.occ:5 6\n" +
+		"main;a.occ:9 3\n" +
+		"main;code+0x12 1\n" +
+		"main;(idle) 3\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}

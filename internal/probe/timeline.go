@@ -49,7 +49,9 @@ type chromeEvent struct {
 	Pid  int                    `json:"pid"`
 	Tid  int                    `json:"tid"`
 	Cat  string                 `json:"cat,omitempty"`
-	S    string                 `json:"s,omitempty"` // instant scope
+	S    string                 `json:"s,omitempty"`  // instant scope
+	Id   uint64                 `json:"id,omitempty"` // flow arrow binding
+	Bp   string                 `json:"bp,omitempty"` // flow binding point
 	Args map[string]interface{} `json:"args,omitempty"`
 }
 
@@ -150,19 +152,33 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 				Name: "timeslice", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "sched", S: "t",
 			})
 		case ChanBlock:
+			tid := procTid(e.Node, e.Proc)
 			out = append(out, chromeEvent{
 				Name: "chan.block", Ph: "i", Ts: usec(e.Time), Pid: p,
-				Tid: procTid(e.Node, e.Proc), Cat: "chan", S: "t",
+				Tid: tid, Cat: "chan", S: "t",
 				Args: map[string]interface{}{"chan": hex(e.Addr), "out": e.Out},
 			})
+			if e.Flow != 0 {
+				out = append(out, chromeEvent{
+					Name: "flow", Ph: "s", Ts: usec(e.Time), Pid: p, Tid: tid,
+					Cat: "flow", Id: e.Flow,
+				})
+			}
 		case ChanRendezvous:
+			tid := procTid(e.Node, e.Proc)
 			out = append(out, chromeEvent{
 				Name: "chan.rendezvous", Ph: "i", Ts: usec(e.Time), Pid: p,
-				Tid: procTid(e.Node, e.Proc), Cat: "chan", S: "t",
+				Tid: tid, Cat: "chan", S: "t",
 				Args: map[string]interface{}{
 					"chan": hex(e.Addr), "bytes": e.Bytes, "partner": hex(uint64(e.Arg)),
 				},
 			})
+			if e.Flow != 0 {
+				out = append(out, chromeEvent{
+					Name: "flow", Ph: "f", Ts: usec(e.Time), Pid: p, Tid: tid,
+					Cat: "flow", Id: e.Flow, Bp: "e",
+				})
+			}
 		case TimerWait:
 			out = append(out, chromeEvent{
 				Name: "timer.wait", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "timer", S: "t",
@@ -183,11 +199,26 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 				Tid: xferTid(e.Link, e.Out), Cat: "link",
 				Args: map[string]interface{}{"bytes": e.Bytes, "proc": hex(e.Proc)},
 			})
+			if e.Out && e.Flow != 0 {
+				// Sender end of a cross-node message arc.
+				out = append(out, chromeEvent{
+					Name: "flow", Ph: "s", Ts: usec(e.Time), Pid: p,
+					Tid: xferTid(e.Link, e.Out), Cat: "flow", Id: e.Flow,
+				})
+			}
 		case LinkXferEnd:
 			out = append(out, chromeEvent{
 				Name: xferName(e.Out), Ph: "E", Ts: usec(e.Time), Pid: p,
 				Tid: xferTid(e.Link, e.Out), Cat: "link",
 			})
+			if !e.Out && e.Flow != 0 {
+				// Receiver end of the arc: bind to the enclosing slice so
+				// Perfetto draws the arrow into the completed transfer.
+				out = append(out, chromeEvent{
+					Name: "flow", Ph: "f", Ts: usec(e.Time), Pid: p,
+					Tid: xferTid(e.Link, e.Out), Cat: "flow", Id: e.Flow, Bp: "e",
+				})
+			}
 		case WirePacket:
 			name := "data"
 			if e.Ack {
@@ -226,6 +257,12 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 		case NodeHalt:
 			out = append(out, chromeEvent{
 				Name: "node.halt", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "fault", S: "p",
+			})
+		case FlowArrive:
+			out = append(out, chromeEvent{
+				Name: "flow.arrive", Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "flow", S: "t",
+				Args: map[string]interface{}{"flow": hex(e.Flow)},
 			})
 		case Deadlock:
 			out = append(out, chromeEvent{

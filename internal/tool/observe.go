@@ -27,6 +27,9 @@ type Observer struct {
 
 	metrics *probe.Metrics
 
+	flows     *probe.FlowTable
+	flowsPath string
+
 	sampler     *probe.Sampler
 	profilePath string
 	targets     []profTarget
@@ -61,6 +64,19 @@ func (o *Observer) EnableTimeline(path string) {
 func (o *Observer) EnableMetrics() {
 	o.metrics = probe.NewMetrics(o.ensureBus())
 }
+
+// EnableFlows traces message flows: Finish writes the flow document
+// (spans, latency histograms, critical path) to path and prints the
+// summary.  resolve, when non-nil, annotates flows with occam source
+// locations (see LineResolver).
+func (o *Observer) EnableFlows(path string, resolve func(node string, iptr uint64) string) {
+	o.flowsPath = path
+	o.flows = probe.NewFlowTable(o.ensureBus())
+	o.flows.Resolve = resolve
+}
+
+// Flows returns the flow table, nil unless EnableFlows was called.
+func (o *Observer) Flows() *probe.FlowTable { return o.flows }
 
 // EnableProfile samples every registered target's instruction pointer
 // each period, saving the resolved profile to path at Finish.  Targets
@@ -139,6 +155,22 @@ func (o *Observer) Finish(end sim.Time, w io.Writer) error {
 	if o.metrics != nil {
 		o.metrics.Finish(end)
 		o.metrics.Report(w)
+	}
+	if o.flows != nil {
+		o.flows.Finish(end)
+		f, err := os.Create(o.flowsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.flows.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "flows written to %s (render with tflow)\n", o.flowsPath)
+		o.flows.Report(w, 10)
 	}
 	if o.sampler != nil {
 		p := o.ResolveProfile()

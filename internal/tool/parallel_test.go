@@ -3,12 +3,14 @@ package tool
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"transputer/internal/apps/sieve"
+	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
 
@@ -20,17 +22,18 @@ import (
 // campaign with its watchdog report.
 
 // netOutput is everything observable from one run: the exported
-// timeline bytes, the stats/metrics/watchdog text, and the settle
-// time.
+// timeline and flow-trace bytes, the stats/metrics/watchdog text, and
+// the settle time.
 type netOutput struct {
 	time     sim.Time
 	timeline []byte
+	flows    []byte
 	text     string
 }
 
 // runExampleNet loads a topology file, runs it with the given worker
 // count and full observability attached, and captures every output.
-func runExampleNet(t *testing.T, path, tlPath string, workers int) netOutput {
+func runExampleNet(t *testing.T, path, tlPath, flPath string, workers int) netOutput {
 	t.Helper()
 	var hostOut bytes.Buffer
 	net, err := LoadNetworkFile(path, &hostOut)
@@ -41,6 +44,7 @@ func runExampleNet(t *testing.T, path, tlPath string, workers int) netOutput {
 	s.SetWorkers(workers)
 	obs := NewObserver(s)
 	obs.EnableTimeline(tlPath)
+	obs.EnableFlows(flPath, LineResolver(net.Programs))
 	obs.EnableMetrics()
 	obs.Start()
 	rep := s.Run(net.Limit)
@@ -63,16 +67,22 @@ func runExampleNet(t *testing.T, path, tlPath string, workers int) netOutput {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return netOutput{time: rep.Time, timeline: tl, text: text.String()}
+	fl, err := os.ReadFile(flPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netOutput{time: rep.Time, timeline: tl, flows: fl, text: text.String()}
 }
 
 func assertIdenticalRuns(t *testing.T, path string) {
 	t.Helper()
-	// Both runs write the timeline to the same file (read back between
-	// runs), so the path printed by Finish is identical too.
+	// Both runs write the timeline and flows to the same files (read
+	// back between runs), so the paths printed by Finish are identical
+	// too.
 	tlPath := filepath.Join(t.TempDir(), "tl.json")
-	want := runExampleNet(t, path, tlPath, 1)
-	got := runExampleNet(t, path, tlPath, 4)
+	flPath := filepath.Join(t.TempDir(), "flows.json")
+	want := runExampleNet(t, path, tlPath, flPath, 1)
+	got := runExampleNet(t, path, tlPath, flPath, 4)
 	if got.time != want.time {
 		t.Errorf("settle times differ: workers=1 %v, workers=4 %v", want.time, got.time)
 	}
@@ -83,6 +93,29 @@ func assertIdenticalRuns(t *testing.T, path string) {
 	if !bytes.Equal(got.timeline, want.timeline) {
 		t.Errorf("timelines differ: workers=1 %d bytes, workers=4 %d bytes",
 			len(want.timeline), len(got.timeline))
+	}
+	if !bytes.Equal(got.flows, want.flows) {
+		t.Errorf("flow traces differ: workers=1 %d bytes, workers=4 %d bytes",
+			len(want.flows), len(got.flows))
+	}
+
+	// The flow document's own invariant: the critical path tiles
+	// [0, end] exactly — its spans sum to the end-to-end completion
+	// time.
+	doc, err := probe.ReadFlowDoc(bytes.NewReader(got.flows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, s := range doc.CriticalPath {
+		sum += s.DurNs
+	}
+	if sum != doc.EndNs || doc.CriticalPathNs != doc.EndNs {
+		t.Errorf("critical path sums to %d (CriticalPathNs %d), want end-to-end %d",
+			sum, doc.CriticalPathNs, doc.EndNs)
+	}
+	if len(doc.Flows) == 0 {
+		t.Errorf("no flows traced for %s", path)
 	}
 }
 
@@ -106,20 +139,31 @@ func TestParallelDeterminismSeveredRing(t *testing.T) {
 // the answers, the settle time, and the aggregate statistics down to
 // the per-opcode counts.
 func TestParallelDeterminismPipeline(t *testing.T) {
-	run := func(workers int) ([]int64, sim.Time, interface{}) {
+	flPath := filepath.Join(t.TempDir(), "flows.json")
+	run := func(workers int) ([]int64, sim.Time, interface{}, []byte) {
 		s, err := sieve.Build(sieve.Params{Limit: 60, Stages: 17})
 		if err != nil {
 			t.Fatal(err)
 		}
 		s.Net.SetWorkers(workers)
+		obs := NewObserver(s.Net)
+		obs.EnableFlows(flPath, nil)
+		obs.Start()
 		primes, rep := s.Run(10 * sim.Second)
 		if !rep.Settled {
 			t.Fatalf("workers=%d: did not settle: %+v", workers, rep)
 		}
-		return primes, rep.Time, s.Net.TotalStats()
+		if err := obs.Finish(rep.Time, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		fl, err := os.ReadFile(flPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return primes, rep.Time, s.Net.TotalStats(), fl
 	}
-	p1, t1, st1 := run(1)
-	p4, t4, st4 := run(4)
+	p1, t1, st1, f1 := run(1)
+	p4, t4, st4, f4 := run(4)
 	if !reflect.DeepEqual(p1, p4) {
 		t.Errorf("answers differ: %v vs %v", p1, p4)
 	}
@@ -128,5 +172,16 @@ func TestParallelDeterminismPipeline(t *testing.T) {
 	}
 	if !reflect.DeepEqual(st1, st4) {
 		t.Errorf("total stats differ:\nworkers=1: %+v\nworkers=4: %+v", st1, st4)
+	}
+	if !bytes.Equal(f1, f4) {
+		t.Errorf("flow traces differ: workers=1 %d bytes, workers=4 %d bytes", len(f1), len(f4))
+	}
+	doc, err := probe.ReadFlowDoc(bytes.NewReader(f4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Flows) == 0 || doc.CriticalPathNs != doc.EndNs {
+		t.Errorf("pipeline flow doc: %d flows, critical path %d vs end %d",
+			len(doc.Flows), doc.CriticalPathNs, doc.EndNs)
 	}
 }
