@@ -78,7 +78,7 @@ func main() {
 	}
 	obs.Start()
 
-	rep := s.Run(net.Limit)
+	rep := tool.RunToQuiescence(net)
 	if !rep.Settled {
 		fmt.Fprintf(os.Stderr, "tnet: time limit reached at %v (still running: %v)\n",
 			rep.Time, rep.Running)
@@ -87,10 +87,16 @@ func main() {
 		n, _ := s.Node(name)
 		fmt.Fprintf(os.Stderr, "tnet: %s halted: %v\n", name, n.M.Fault())
 	}
+	var wd *network.WatchdogReport
 	if rep.Settled {
-		if wd := s.Watchdog(); wd != nil {
+		if wd = s.Watchdog(); wd != nil {
 			tool.PrintWatchdog(os.Stderr, wd, tool.LineResolver(net.Programs))
 		}
+	}
+	undelivered := 0
+	if net.Router != nil {
+		undelivered = net.Router.Undelivered()
+		tool.PrintRouteSummary(os.Stderr, net.Router)
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "simulated time: %v\n", rep.Time)
@@ -107,6 +113,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	os.Exit(tool.Verdict(wd, undelivered))
 }
 
 func fatal(err error) {

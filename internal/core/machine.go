@@ -325,6 +325,23 @@ func (m *Machine) ForceHalt(reason string) {
 	}
 }
 
+// ClearForcedHalt reverses a ForceHalt: the processor may execute
+// again, picking up exactly the state it froze with — a battery-backed
+// board whose power came back.  Only a forced halt can be cleared; a
+// halt-on-error or memory-fault halt is a program's own verdict and
+// stays.  Reports whether the machine was revived.
+func (m *Machine) ClearForcedHalt() bool {
+	if !m.halted || m.forcedHalt == "" || m.faulted != nil {
+		return false
+	}
+	m.halted = false
+	m.forcedHalt = ""
+	if m.bus != nil {
+		m.emit(probe.Event{Kind: probe.NodeRestart})
+	}
+	return true
+}
+
 // Idle reports whether no process is executing.  An idle machine may
 // still be waiting on timers or links.
 func (m *Machine) Idle() bool { return m.Wdesc == m.notProcess() || m.halted }

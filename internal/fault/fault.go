@@ -39,6 +39,11 @@ const (
 	// Halt stops a node's processor at simulated time At and cuts all
 	// its links, as if the board lost power.
 	Halt
+	// Restart revives a node previously stopped by Halt at simulated
+	// time At: power returns to a battery-backed board — the processor
+	// resumes with its frozen state, links are restored and
+	// resynchronised, and the node rejoins the network.
+	Restart
 
 	numKinds
 )
@@ -49,6 +54,7 @@ var kindNames = [numKinds]string{
 	Jitter:  "jitter",
 	Sever:   "sever",
 	Halt:    "halt",
+	Restart: "restart",
 }
 
 // String names the fault kind as spelled in topology files.
@@ -114,7 +120,7 @@ type Rule struct {
 
 // Timed reports whether the rule fires once at a scheduled instant
 // rather than probabilistically per packet.
-func (r Rule) Timed() bool { return r.Kind == Sever || r.Kind == Halt }
+func (r Rule) Timed() bool { return r.Kind == Sever || r.Kind == Halt || r.Kind == Restart }
 
 // Validate checks a rule's parameters.
 func (r Rule) Validate() error {
@@ -126,7 +132,7 @@ func (r Rule) Validate() error {
 		if r.Kind == Jitter && r.Max <= 0 {
 			return fmt.Errorf("fault: jitter needs max > 0")
 		}
-	case Sever, Halt:
+	case Sever, Halt, Restart:
 		if r.At <= 0 {
 			return fmt.Errorf("fault: %s needs at > 0", r.Kind)
 		}
@@ -143,11 +149,27 @@ type Plan struct {
 // Empty reports a plan with nothing to inject.
 func (p Plan) Empty() bool { return len(p.Rules) == 0 }
 
-// Validate checks every rule.
+// Validate checks every rule, and the plan-level constraint that a
+// Restart revives a node some Halt stopped strictly earlier.
 func (p Plan) Validate() error {
 	for i, r := range p.Rules {
 		if err := r.Validate(); err != nil {
 			return fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	for i, r := range p.Rules {
+		if r.Kind != Restart {
+			continue
+		}
+		halted := false
+		for _, h := range p.Rules {
+			if h.Kind == Halt && h.Node == r.Node && h.At < r.At {
+				halted = true
+				break
+			}
+		}
+		if !halted {
+			return fmt.Errorf("rule %d: restart of %q needs an earlier halt of the same node", i, r.Node)
 		}
 	}
 	return nil

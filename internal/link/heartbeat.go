@@ -1,0 +1,176 @@
+// Link liveness monitoring.
+//
+// The paper's protocol has no failure detector: a sender whose peer
+// dies simply waits forever.  This file adds an opt-in heartbeat: each
+// engine periodically sends a tiny beat packet (BeatBits) down every
+// idle engine-to-engine wire, records the last instant anything —
+// data, acknowledge, NAK or beat — arrived on each link, and flips a
+// per-link verdict when the silence exceeds a timeout.  Verdict
+// changes are published as probe.Heartbeat events and reported to the
+// OnHeartbeat callback, which the routing layer uses to steer traffic
+// around dead links and to resynchronise links that come back.
+//
+// Beats ride the same serialised signal lines as real traffic, but
+// only when the wire is idle, so they never delay data.  Host-wired
+// links are not monitored: host ends do not beat, and declaring the
+// host dead for its silence would be wrong.  Verdicts change only at
+// tick instants, keeping detection deterministic under any shard
+// schedule.
+package link
+
+import (
+	"transputer/internal/core"
+	"transputer/internal/probe"
+	"transputer/internal/sim"
+)
+
+// Defaults for SetHeartbeat: a beat every 20 µs and a verdict after
+// 100 µs of silence — five missed beats, comfortably above the
+// error-detecting mode's per-byte retransmission timeout.
+const (
+	DefaultBeatInterval = 20 * sim.Microsecond
+	DefaultBeatTimeout  = 100 * sim.Microsecond
+)
+
+// heartbeat is one engine's liveness-monitor state.
+type heartbeat struct {
+	interval   sim.Time
+	timeout    sim.Time
+	configured bool
+	running    bool
+	timer      sim.EventID
+	lastHeard  [core.NumLinks]sim.Time
+	peerDown   [core.NumLinks]bool
+}
+
+// SetHeartbeat configures the liveness monitor.  Zero or negative
+// values select the defaults.  The monitor does not run until
+// StartHeartbeat is called.
+func (e *Engine) SetHeartbeat(interval, timeout sim.Time) {
+	if interval <= 0 {
+		interval = DefaultBeatInterval
+	}
+	if timeout <= 0 {
+		timeout = DefaultBeatTimeout
+	}
+	e.hb.interval = interval
+	e.hb.timeout = timeout
+	e.hb.configured = true
+}
+
+// OnHeartbeat registers the verdict-change callback: up reports
+// whether the link's peer was just declared alive (true) or
+// unresponsive (false).  Called from the engine's own shard.
+func (e *Engine) OnHeartbeat(fn func(link int, up bool)) { e.onBeat = fn }
+
+// StartHeartbeat begins monitoring: every link is presumed alive as of
+// now, and the first beats go out one interval from now.  A no-op when
+// the monitor is unconfigured or already running.
+func (e *Engine) StartHeartbeat() {
+	if !e.hb.configured || e.hb.running {
+		return
+	}
+	e.hb.running = true
+	now := e.k.Now()
+	for l := range e.hb.lastHeard {
+		e.hb.lastHeard[l] = now
+		e.hb.peerDown[l] = false
+	}
+	e.hb.timer = e.k.After(e.hb.interval, e.hbTick)
+}
+
+// StopHeartbeat cancels the monitor's recurring timer so the
+// simulation can quiesce.  Verdicts are frozen as they stand.
+func (e *Engine) StopHeartbeat() {
+	if !e.hb.running {
+		return
+	}
+	e.hb.running = false
+	e.k.Cancel(e.hb.timer)
+}
+
+// PeerDown reports the current liveness verdict for link l's peer.
+func (e *Engine) PeerDown(l int) bool {
+	if l < 0 || l >= core.NumLinks {
+		return false
+	}
+	return e.hb.peerDown[l]
+}
+
+// heard records that something arrived on link l just now.
+func (e *Engine) heard(l int) {
+	e.hb.lastHeard[l] = e.k.Now()
+}
+
+func (o *outHalf) heard() {
+	if o.eng != nil {
+		o.eng.heard(o.link)
+	}
+}
+
+func (in *inHalf) heard() {
+	if in.eng != nil {
+		in.eng.heard(in.link)
+	}
+}
+
+// beatArrive handles a liveness probe landing on this half's link.
+func (in *inHalf) beatArrive() {
+	in.heard()
+}
+
+// monitored reports whether link l joins the heartbeat exchange: it
+// must be wired to another engine.  Host ends never beat.
+func (e *Engine) monitored(l int) bool {
+	o := e.outs[l]
+	return o.wire != nil && o.peer != nil && o.peer.eng != nil
+}
+
+// hbTick is the periodic monitor body: pass verdicts on every
+// monitored link, then beat the idle wires, then reschedule.
+func (e *Engine) hbTick() {
+	if !e.hb.running {
+		return
+	}
+	now := e.k.Now()
+	for l := 0; l < core.NumLinks; l++ {
+		if !e.monitored(l) {
+			continue
+		}
+		silence := now - e.hb.lastHeard[l]
+		switch {
+		case !e.hb.peerDown[l] && silence > e.hb.timeout:
+			e.hb.peerDown[l] = true
+			if e.bus != nil {
+				e.emit(probe.Event{Kind: probe.Heartbeat, Link: l, Arg: 0, Dur: silence})
+			}
+			if e.onBeat != nil {
+				e.onBeat(l, false)
+			}
+		case e.hb.peerDown[l] && silence <= e.hb.timeout:
+			e.hb.peerDown[l] = false
+			if e.bus != nil {
+				e.emit(probe.Event{Kind: probe.Heartbeat, Link: l, Arg: 1, Dur: silence})
+			}
+			if e.onBeat != nil {
+				e.onBeat(l, true)
+			}
+		}
+		// A beat goes out only when the wire is idle; real traffic is
+		// its own proof of life.  Severed wires are still beaten — the
+		// transmitting hardware cannot tell the cable is cut.
+		if w := e.outs[l].wire; !w.busy && len(w.data) == 0 && len(w.acks) == 0 {
+			e.sendBeat(l)
+		}
+	}
+	e.hb.timer = e.k.After(e.hb.interval, e.hbTick)
+}
+
+func (e *Engine) sendBeat(l int) {
+	in := e.outs[l].peer
+	e.outs[l].wire.send(packet{
+		kind:    pktBeat,
+		bits:    BeatBits,
+		deliver: func(packet) { in.beatArrive() },
+	})
+}

@@ -47,6 +47,11 @@ const (
 	// NakBits is a negative acknowledge: start bit, zero bit, one bit —
 	// only distinguishable from an acknowledge in error-detecting mode.
 	NakBits = 3
+	// BeatBits is a liveness probe (see heartbeat.go): start bit, two
+	// one bits, stop bit, sent on idle wires so a severed link or a
+	// dead peer is detected in bounded time instead of only when
+	// traffic stalls.
+	BeatBits = 4
 )
 
 // WireStats counts traffic on one signal line.
@@ -54,6 +59,7 @@ type WireStats struct {
 	DataBytes uint64
 	Acks      uint64
 	Naks      uint64
+	Beats     uint64
 	BusyNs    int64
 }
 
@@ -64,6 +70,7 @@ const (
 	pktData packetKind = iota
 	pktAck
 	pktNak
+	pktBeat
 )
 
 // packet is one frame queued on a wire.  Sender-side callbacks
@@ -189,6 +196,8 @@ func (w *wire) transmitNext() {
 		w.stats.Acks++
 	case pktNak:
 		w.stats.Naks++
+	case pktBeat:
+		w.stats.Beats++
 	default:
 		w.stats.DataBytes++
 	}
@@ -276,6 +285,10 @@ type outHalf struct {
 	done    func()
 	txEnded bool // current byte finished transmitting
 	acked   bool // current byte acknowledged
+	// stalledAtStart marks a transfer that start() could not begin
+	// because the link had been declared down: no byte of it is on the
+	// wire, so recovery must send the first byte rather than retransmit.
+	stalledAtStart bool
 	// txEndAt records when the current byte finished transmitting, for
 	// measuring the wait for its acknowledge.
 	txEndAt sim.Time
@@ -339,6 +352,11 @@ type Engine struct {
 	outs [core.NumLinks]*outHalf
 	ins  [core.NumLinks]*inHalf
 	bus  *probe.Bus
+
+	// hb is the liveness monitor state (see heartbeat.go); onBeat is
+	// told every verdict change.
+	hb     heartbeat
+	onBeat func(link int, up bool)
 
 	// onSever, when set, is told the first time each link of this engine
 	// is cut; the network layer uses it to retire the pair from the
@@ -471,8 +489,11 @@ func (o *outHalf) start(read func(i int) byte, count int, done func()) {
 	o.count = count
 	o.sent = 0
 	o.done = done
+	o.stalledAtStart = false
 	if o.wire == nil || o.rel.failed {
-		return // unconnected or failed link: waits forever
+		// Unconnected or failed link: waits forever (until recovery).
+		o.stalledAtStart = o.rel.failed
+		return
 	}
 	o.sendByte()
 }
@@ -507,6 +528,7 @@ func (o *outHalf) txEnd() {
 }
 
 func (o *outHalf) ackArrived() {
+	o.heard()
 	// An ack landing after the byte finished transmitting stalls the
 	// sender for the difference (the overlapped acknowledge of figure 1
 	// exists to make this zero in the streaming case).
@@ -580,6 +602,7 @@ func (in *inHalf) start(write func(i int, b byte), count int, done func()) {
 // continuous.  The flow is noted before the overlapped acknowledge is
 // built so the ack already carries it.
 func (in *inHalf) dataStart(flow uint64) {
+	in.heard()
 	in.noteFlow(flow)
 	in.ackSentAtStart = false
 	if in.active && !in.stopAndWait {
@@ -610,6 +633,7 @@ func (in *inHalf) noteFlow(flow uint64) {
 
 // dataArrive fires when the data packet completes.
 func (in *inHalf) dataArrive(p packet) {
+	in.heard()
 	in.noteFlow(p.flow)
 	b := p.payload
 	if in.active {
@@ -702,7 +726,14 @@ func (e *Engine) SeverLink(i int) {
 		return
 	}
 	w := e.outs[i].wire
-	already := w.severed
+	if w.severed {
+		// Already cut (e.g. a halt's SeverAll after a sever of the same
+		// link, or both ends halting): the first cut killed both
+		// directions.  Going through the motions again would post
+		// across a coordinator wiring edge the first cut may have
+		// retired, into a peer shard that has since drifted ahead.
+		return
+	}
 	w.severed = true
 	peer := e.ins[i].peerOut
 	if w.post == nil {
@@ -728,7 +759,7 @@ func (e *Engine) SeverLink(i int) {
 	if e.bus != nil {
 		e.emit(probe.Event{Kind: probe.LinkSever, Link: i})
 	}
-	if !already && e.onSever != nil {
+	if e.onSever != nil {
 		e.onSever(i)
 	}
 }
@@ -748,6 +779,150 @@ func (e *Engine) LinkDown(i int) (down bool, retries int) {
 		return false, 0
 	}
 	return e.outs[i].rel.failed, e.outs[i].rel.retries
+}
+
+// SendRaw transmits the given bytes down link l without involving the
+// machine: the routing layer drives link engines directly, from the
+// node's own shard.  The data is copied.  Returns false when the link
+// is unwired or its sender is already busy; done fires when the final
+// byte has been acknowledged.
+func (e *Engine) SendRaw(l int, data []byte, done func()) bool {
+	if l < 0 || l >= core.NumLinks || !e.Connected(l) {
+		return false
+	}
+	o := e.outs[l]
+	if o.active {
+		return false
+	}
+	if len(data) == 0 {
+		if done != nil {
+			done()
+		}
+		return true
+	}
+	buf := append([]byte(nil), data...)
+	o.start(func(i int) byte { return buf[i] }, len(buf), done)
+	return true
+}
+
+// RecvRaw receives n bytes from link l without involving the machine,
+// handing the filled buffer to done.  Returns false when the link is
+// unwired or its receiver is already busy.
+func (e *Engine) RecvRaw(l int, n int, done func([]byte)) bool {
+	if l < 0 || l >= core.NumLinks || !e.Connected(l) {
+		return false
+	}
+	in := e.ins[l]
+	if in.active {
+		return false
+	}
+	if n <= 0 {
+		if done != nil {
+			done(nil)
+		}
+		return true
+	}
+	buf := make([]byte, n)
+	in.start(func(i int, b byte) { buf[i] = b }, n, func() {
+		if done != nil {
+			done(buf)
+		}
+	})
+	return true
+}
+
+// ResyncLink aborts whatever transfer is in progress on link l in both
+// directions and resets the error-detecting sequence state to its
+// power-on values.  The routing layer performs this handshake on both
+// ends when a link comes back after an outage, so the two halves agree
+// on a fresh byte stream; bytes of the old stream are discarded.
+// Transfer completion callbacks of the aborted transfers never fire.
+func (e *Engine) ResyncLink(l int) {
+	if l < 0 || l >= core.NumLinks {
+		return
+	}
+	o := e.outs[l]
+	o.cancelRetryTimer()
+	o.active = false
+	o.done = nil
+	o.stalledAtStart = false
+	o.rel.failed = false
+	o.rel.retries = 0
+	o.rel.seq = 0
+	if o.wire != nil {
+		// Queued frames belong to the abandoned stream.
+		o.wire.data = nil
+		o.wire.acks = nil
+	}
+	in := e.ins[l]
+	in.active = false
+	in.done = nil
+	in.armed = nil
+	in.bufferValid = false
+	in.rel.expect = 0
+}
+
+// RecoverLink revives link l's sender after a freeze-restart outage
+// without losing the byte in flight.  It only applies in
+// error-detecting mode: the alternating sequence bit makes the
+// retransmission exactly-once whether the outage swallowed the
+// original byte or only its acknowledge.  Plain-mode transfers cannot
+// be recovered safely (no sequence bit to dedup a blind resend) and
+// stay stalled for the watchdog to report.
+func (e *Engine) RecoverLink(l int) {
+	if l < 0 || l >= core.NumLinks || !e.Connected(l) {
+		return
+	}
+	o := e.outs[l]
+	if !o.rel.on {
+		return
+	}
+	o.rel.failed = false
+	o.rel.retries = 0
+	if !o.active {
+		return
+	}
+	if o.stalledAtStart {
+		// The transfer never began; send its first byte now.
+		o.stalledAtStart = false
+		o.sendByte()
+		return
+	}
+	if !o.acked {
+		o.cancelRetryTimer()
+		o.sendReliable(o.rel.cur)
+	}
+}
+
+// RestoreLink reconnects both signal lines of link i, reversing
+// SeverLink with the same propagation discipline: this end's wire and
+// inbound gate revive now, the peer's revive one propagation later.
+// Only sound for links the network layer kept in the coordinator's
+// wiring matrix across the cut (see the restart fault rules).
+func (e *Engine) RestoreLink(i int) {
+	if !e.Connected(i) {
+		return
+	}
+	w := e.outs[i].wire
+	w.severed = false
+	peer := e.ins[i].peerOut
+	if w.post == nil {
+		if peer != nil && peer.wire != nil {
+			peer.wire.severed = false
+		}
+		return
+	}
+	if peer != nil && peer.wire != nil && peer.wire.rx != nil {
+		peer.wire.rx.severed = false
+	}
+	pw := peer
+	rx := w.rx
+	w.post(w.k.Now()+w.prop, func() {
+		if pw != nil && pw.wire != nil {
+			pw.wire.severed = false
+		}
+		rx.severed = false
+	})
 }
 
 // EnableInput arms alternative-input readiness signalling.

@@ -150,6 +150,7 @@ func (o *outHalf) retransmit() {
 
 // relAckArrived handles an acknowledge carrying the given sequence bit.
 func (o *outHalf) relAckArrived(seq byte) {
+	o.heard()
 	if !o.active || o.acked || o.rel.failed || seq != o.rel.seq {
 		return // stale or duplicate acknowledge
 	}
@@ -169,6 +170,7 @@ func (o *outHalf) relAckArrived(seq byte) {
 // relNakArrived handles a negative acknowledge: the receiver saw a
 // corrupt trailer; resend at once.
 func (o *outHalf) relNakArrived() {
+	o.heard()
 	if !o.active || o.acked || o.rel.failed {
 		return
 	}
@@ -180,6 +182,7 @@ func (o *outHalf) relNakArrived() {
 // flow is noted even for corrupt packets — the flow's bits did reach
 // this node, and the NAK that answers them should stay on the flow.
 func (in *inHalf) relDataArrive(p packet) {
+	in.heard()
 	in.noteFlow(p.flow)
 	if crc8(p.payload, p.seq) != p.crc {
 		in.sendNak()

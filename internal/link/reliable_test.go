@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"transputer/internal/core"
 	"transputer/internal/sim"
 )
 
@@ -148,6 +149,84 @@ func TestReliableLateReceiver(t *testing.T) {
 	k.Run()
 	if !sent || !bytes.Equal(got, msg) {
 		t.Fatalf("sent=%v got=%v want %v", sent, got, msg)
+	}
+}
+
+// TestSeverRacesNak: a corrupt data packet draws a NAK, and the link is
+// cut while that NAK is mid-flight on the return wire.  The NAK is lost
+// with the cable; the sender must fall back to its retransmit timer,
+// burn the retry budget against the dead wire and declare the link
+// down — with the bytes accepted before the cut delivered exactly once
+// and nothing after them.
+func TestSeverRacesNak(t *testing.T) {
+	k := sim.NewKernel()
+	ma := core.MustNew(core.T424().WithMemory(16 * 1024))
+	mb := core.MustNew(core.T424().WithMemory(16 * 1024))
+	ea := NewEngine(k, ma)
+	eb := NewEngine(k, mb)
+	Connect(ea, 2, eb, 1)
+	ea.SetReliable(true, 4*sim.Microsecond, 8)
+	eb.SetReliable(true, 4*sim.Microsecond, 8)
+
+	// Corrupt exactly the fifth data packet; the receiver NAKs it.
+	n := 0
+	ea.SetFaultHook(2, func(isCtl bool) FaultAction {
+		if isCtl {
+			return FaultAction{}
+		}
+		n++
+		if n == 5 {
+			return FaultAction{Corrupt: 0x10}
+		}
+		return FaultAction{}
+	})
+	// The return wire carries four acknowledges and then the NAK.  When
+	// the NAK starts transmission (3 bit times on the wire), cut the
+	// link halfway through its flight.
+	ctl := 0
+	severed := false
+	eb.SetFaultHook(1, func(isCtl bool) FaultAction {
+		if isCtl {
+			ctl++
+			if ctl == 5 && !severed {
+				severed = true
+				k.After(NakBits*BitNs/2*sim.Nanosecond, func() { ea.SeverLink(2) })
+			}
+		}
+		return FaultAction{}
+	})
+
+	msg := testMsg(10)
+	ma.WriteBytes(ma.MemStart(), msg)
+	dst := mb.MemStart() + 256
+	sent, recvd := false, false
+	eb.BeginInput(1, dst, len(msg), func() { recvd = true })
+	ea.BeginOutput(2, ma.MemStart(), len(msg), func() { sent = true })
+	k.Run()
+
+	if !severed {
+		t.Fatal("the NAK never appeared on the return wire")
+	}
+	if sent || recvd {
+		t.Fatalf("transfer completed across a severed link: sent=%v recvd=%v", sent, recvd)
+	}
+	down, retries := ea.LinkDown(2)
+	if !down {
+		t.Fatal("sender never declared the severed link down")
+	}
+	if retries <= 8 {
+		t.Errorf("retries = %d, want budget exceeded", retries)
+	}
+	got := mb.ReadBytes(dst, len(msg))
+	for i := 0; i < 4; i++ {
+		if got[i] != msg[i] {
+			t.Errorf("byte %d = %#x, want %#x (pre-cut bytes must survive)", i, got[i], msg[i])
+		}
+	}
+	for i := 4; i < len(msg); i++ {
+		if got[i] != 0 {
+			t.Errorf("byte %d = %#x arrived after the cut", i, got[i])
+		}
 	}
 }
 

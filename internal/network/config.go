@@ -34,6 +34,15 @@ import (
 //	fault jitter disk.0 rate=0.5 max=2us
 //	fault sever app.2 at=500us
 //	fault halt gfx at=1ms
+//	fault restart gfx at=2ms
+//
+// Self-healing topologies enable liveness monitoring and the routing
+// layer, and inject end-to-end messages instead of running programs:
+//
+//	linkmode reliable
+//	heartbeat interval=20us timeout=100us
+//	route ttl=32
+//	message app gfx at=100us data=hello
 type Topology struct {
 	Transputers []TransputerSpec
 	Connections []Connection
@@ -48,6 +57,36 @@ type Topology struct {
 	LinkMode LinkMode
 	// Faults is the scripted fault plan (empty when none).
 	Faults []fault.Rule
+	// Heartbeat configures link liveness monitoring.
+	Heartbeat HeartbeatSpec
+	// Route enables the store-and-forward routing layer.
+	Route RouteSpec
+	// Messages are end-to-end injections for routed topologies.
+	Messages []MessageSpec
+}
+
+// HeartbeatSpec configures the link liveness monitor; zero Interval or
+// Timeout select the link package defaults.
+type HeartbeatSpec struct {
+	Set      bool
+	Interval sim.Time
+	Timeout  sim.Time
+}
+
+// RouteSpec enables and tunes the routing layer; zero values select
+// the route package defaults.
+type RouteSpec struct {
+	Enabled bool
+	Hop     sim.Time // per-hop custody timeout
+	Replay  sim.Time // end-to-end replay backoff base
+	TTL     int      // hop budget
+}
+
+// MessageSpec is one scripted end-to-end message.
+type MessageSpec struct {
+	From, To string
+	At       sim.Time
+	Data     string
 }
 
 // LinkMode configures the link protocol for a whole system.
@@ -91,6 +130,7 @@ func ParseTopology(src string) (*Topology, error) {
 	topo := &Topology{Inputs: make(map[string][]int64)}
 	nodeLine := make(map[string]int)  // node name -> declaring line
 	wiredLine := make(map[string]int) // "node.link" -> wiring line
+	var faultLine []int               // line of each rule in topo.Faults
 	// refs records node-name uses to validate after all declarations.
 	type ref struct {
 		name string
@@ -228,6 +268,26 @@ func ParseTopology(src string) (*Topology, error) {
 			}
 			refs = append(refs, ref{rule.Node, no})
 			topo.Faults = append(topo.Faults, rule)
+			faultLine = append(faultLine, no)
+		case "heartbeat":
+			hb, err := parseHeartbeat(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			topo.Heartbeat = hb
+		case "route":
+			rt, err := parseRoute(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			topo.Route = rt
+		case "message":
+			msg, err := parseMessage(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			refs = append(refs, ref{msg.From, no}, ref{msg.To, no})
+			topo.Messages = append(topo.Messages, msg)
 		default:
 			return nil, fail("unknown directive %q", fields[0])
 		}
@@ -237,7 +297,185 @@ func ParseTopology(src string) (*Topology, error) {
 			return nil, fmt.Errorf("topology line %d: unknown transputer %q", r.line, r.name)
 		}
 	}
+	if err := validateFaults(topo, faultLine, wiredLine); err != nil {
+		return nil, err
+	}
+	if topo.Route.Enabled {
+		if !topo.LinkMode.Reliable {
+			return nil, fmt.Errorf("topology: route requires linkmode reliable")
+		}
+		if !topo.Heartbeat.Set {
+			return nil, fmt.Errorf("topology: route requires a heartbeat directive")
+		}
+	}
+	if len(topo.Messages) > 0 && !topo.Route.Enabled {
+		return nil, fmt.Errorf("topology: message directives require a route directive")
+	}
 	return topo, nil
+}
+
+// validateFaults cross-checks the fault script against the wiring, so
+// a bad campaign is rejected when the file is read instead of
+// surfacing as a puzzling mid-run no-op.  Every error carries the
+// offending line.
+func validateFaults(topo *Topology, faultLine []int, wiredLine map[string]int) error {
+	// peerEnd maps each connected link end to its other end, so a
+	// sever of the same physical link via either end is caught.
+	peerEnd := make(map[string]string)
+	for _, c := range topo.Connections {
+		a := fmt.Sprintf("%s.%d", c.A, c.ALink)
+		b := fmt.Sprintf("%s.%d", c.B, c.BLink)
+		peerEnd[a] = b
+		peerEnd[b] = a
+	}
+	severed := make(map[string]int) // link end -> line of its sever
+	halted := make(map[string]int)  // node -> line of its halt
+	restarted := make(map[string]int)
+	for i, r := range topo.Faults {
+		no := faultLine[i]
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("topology line %d: %s", no, fmt.Sprintf(format, args...))
+		}
+		switch r.Kind {
+		case fault.Halt:
+			if prev, dup := halted[r.Node]; dup {
+				return fail("duplicate halt of %q (first at line %d)", r.Node, prev)
+			}
+			halted[r.Node] = no
+		case fault.Restart:
+			if prev, dup := restarted[r.Node]; dup {
+				return fail("duplicate restart of %q (first at line %d)", r.Node, prev)
+			}
+			restarted[r.Node] = no
+			haltAt := sim.Time(-1)
+			for _, h := range topo.Faults {
+				if h.Kind == fault.Halt && h.Node == r.Node {
+					haltAt = h.At
+				}
+			}
+			if haltAt < 0 {
+				return fail("restart of %q has no matching halt", r.Node)
+			}
+			if haltAt >= r.At {
+				return fail("restart of %q at %v does not follow its halt at %v", r.Node, r.At, haltAt)
+			}
+		default:
+			// Wire-targeted rules must name an end that is actually
+			// wired (a connection or a host attachment).
+			end := fmt.Sprintf("%s.%d", r.Node, r.Link)
+			if _, wired := wiredLine[end]; !wired {
+				return fail("fault %s targets unwired link end %s", r.Kind, end)
+			}
+			if r.Kind == fault.Sever {
+				if prev, dup := severed[end]; dup {
+					return fail("duplicate sever of %s (first at line %d)", end, prev)
+				}
+				if p, ok := peerEnd[end]; ok {
+					if prev, dup := severed[p]; dup {
+						return fail("sever of %s cuts the same link as %s at line %d", end, p, prev)
+					}
+				}
+				severed[end] = no
+			}
+		}
+	}
+	return nil
+}
+
+// parseHeartbeat reads a heartbeat directive:
+//
+//	heartbeat [interval=D] [timeout=D]
+func parseHeartbeat(args []string) (HeartbeatSpec, error) {
+	hb := HeartbeatSpec{Set: true}
+	for _, opt := range args {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return hb, fmt.Errorf("bad heartbeat option %q", opt)
+		}
+		d, err := parseDuration(v)
+		if err != nil || d <= 0 {
+			return hb, fmt.Errorf("bad heartbeat %s %q", k, v)
+		}
+		switch k {
+		case "interval":
+			hb.Interval = d
+		case "timeout":
+			hb.Timeout = d
+		default:
+			return hb, fmt.Errorf("unknown heartbeat option %q", k)
+		}
+	}
+	return hb, nil
+}
+
+// parseRoute reads a route directive:
+//
+//	route [hop=D] [replay=D] [ttl=N]
+func parseRoute(args []string) (RouteSpec, error) {
+	rt := RouteSpec{Enabled: true}
+	for _, opt := range args {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return rt, fmt.Errorf("bad route option %q", opt)
+		}
+		switch k {
+		case "hop":
+			d, err := parseDuration(v)
+			if err != nil || d <= 0 {
+				return rt, fmt.Errorf("bad route hop %q", v)
+			}
+			rt.Hop = d
+		case "replay":
+			d, err := parseDuration(v)
+			if err != nil || d <= 0 {
+				return rt, fmt.Errorf("bad route replay %q", v)
+			}
+			rt.Replay = d
+		case "ttl":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 || n > 255 {
+				return rt, fmt.Errorf("bad route ttl %q", v)
+			}
+			rt.TTL = n
+		default:
+			return rt, fmt.Errorf("unknown route option %q", k)
+		}
+	}
+	return rt, nil
+}
+
+// parseMessage reads a message directive:
+//
+//	message <from> <to> at=T data=STRING
+func parseMessage(args []string) (MessageSpec, error) {
+	var msg MessageSpec
+	if len(args) < 3 {
+		return msg, fmt.Errorf("message needs a sender, a receiver and at=")
+	}
+	msg.From = args[0]
+	msg.To = args[1]
+	for _, opt := range args[2:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return msg, fmt.Errorf("bad message option %q", opt)
+		}
+		switch k {
+		case "at":
+			d, err := parseDuration(v)
+			if err != nil || d <= 0 {
+				return msg, fmt.Errorf("bad message time %q", v)
+			}
+			msg.At = d
+		case "data":
+			msg.Data = v
+		default:
+			return msg, fmt.Errorf("unknown message option %q", k)
+		}
+	}
+	if msg.At <= 0 {
+		return msg, fmt.Errorf("message needs at=")
+	}
+	return msg, nil
 }
 
 // parseLinkMode reads the arguments of a linkmode directive.
@@ -289,6 +527,7 @@ func parseLinkMode(args []string) (LinkMode, error) {
 //	fault jitter  <node>.<link> rate=R max=D
 //	fault sever   <node>.<link> at=T
 //	fault halt    <node>        at=T
+//	fault restart <node>        at=T
 func parseFault(args []string) (fault.Rule, error) {
 	var rule fault.Rule
 	if len(args) < 2 {
@@ -299,9 +538,9 @@ func parseFault(args []string) (fault.Rule, error) {
 		return rule, err
 	}
 	rule.Kind = kind
-	if kind == fault.Halt {
+	if kind == fault.Halt || kind == fault.Restart {
 		if strings.ContainsRune(args[1], '.') {
-			return rule, fmt.Errorf("fault halt targets a node, not a link end")
+			return rule, fmt.Errorf("fault %s targets a node, not a link end", kind)
 		}
 		rule.Node = args[1]
 		rule.Link = -1

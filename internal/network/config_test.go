@@ -179,3 +179,118 @@ func TestParseDurations(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSelfHealing covers the heartbeat, route and message
+// directives of a self-healing topology.
+func TestParseSelfHealing(t *testing.T) {
+	src := `
+transputer a t424
+transputer b t424
+transputer c t424
+connect a.0 b.1
+connect b.0 c.1
+connect c.0 a.1
+linkmode reliable
+heartbeat interval=20us timeout=100us
+route hop=400us replay=800us ttl=16
+message a c at=100us data=hello
+fault sever a.0 at=200us
+fault halt b at=300us
+fault restart b at=900us
+run 5ms
+`
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Heartbeat.Set || topo.Heartbeat.Interval != 20*sim.Microsecond ||
+		topo.Heartbeat.Timeout != 100*sim.Microsecond {
+		t.Errorf("heartbeat = %+v", topo.Heartbeat)
+	}
+	if !topo.Route.Enabled || topo.Route.Hop != 400*sim.Microsecond ||
+		topo.Route.Replay != 800*sim.Microsecond || topo.Route.TTL != 16 {
+		t.Errorf("route = %+v", topo.Route)
+	}
+	if len(topo.Messages) != 1 {
+		t.Fatalf("messages = %+v", topo.Messages)
+	}
+	m := topo.Messages[0]
+	if m.From != "a" || m.To != "c" || m.At != 100*sim.Microsecond || m.Data != "hello" {
+		t.Errorf("message = %+v", m)
+	}
+	r := topo.Faults[2]
+	if r.Kind != fault.Restart || r.Node != "b" || r.Link != -1 || r.At != 900*sim.Microsecond {
+		t.Errorf("restart rule = %+v", r)
+	}
+}
+
+// TestParseSelfHealingErrors rejects inconsistent self-healing
+// directives at parse time.
+func TestParseSelfHealingErrors(t *testing.T) {
+	cases := []string{
+		"heartbeat interval=banana",
+		"heartbeat frequency=20us",
+		"route ttl=0",
+		"route ttl=banana",
+		"route speed=11",
+		// route without its prerequisites
+		"transputer x t424\nroute",
+		"transputer x t424\nlinkmode reliable\nroute",
+		// messages without routing, or naming ghosts
+		"transputer x t424\nmessage x x at=1us data=hi",
+		"transputer x t424\ntransputer y t424\nconnect x.0 y.0\n" +
+			"linkmode reliable\nheartbeat\nroute\nmessage x ghost at=1us data=hi",
+		"message x",
+		"message x y",
+		"message x y data=hi", // no at=
+	}
+	for _, src := range cases {
+		if _, err := ParseTopology(src); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", src)
+		}
+	}
+}
+
+// TestParseFaultValidation: the script is cross-checked against the
+// wiring when the file is read, and every rejection names its line.
+func TestParseFaultValidation(t *testing.T) {
+	base := "transputer a t424\ntransputer b t424\nconnect a.0 b.0\n"
+	cases := []struct {
+		src  string
+		want []string // substrings the error must carry
+	}{
+		{base + "fault sever a.1 at=1ms",
+			[]string{"line 4", "unwired link end a.1"}},
+		{base + "fault drop a.2 rate=0.5",
+			[]string{"line 4", "unwired link end a.2"}},
+		{base + "fault sever a.0 at=1ms\nfault sever a.0 at=2ms",
+			[]string{"line 5", "duplicate sever", "line 4"}},
+		{base + "fault sever a.0 at=1ms\nfault sever b.0 at=2ms",
+			[]string{"line 5", "same link", "line 4"}},
+		{base + "fault halt a at=1ms\nfault halt a at=2ms",
+			[]string{"line 5", "duplicate halt", "line 4"}},
+		{base + "fault restart a at=1ms",
+			[]string{"line 4", "no matching halt"}},
+		{base + "fault halt a at=2ms\nfault restart a at=1ms",
+			[]string{"line 5", "does not follow its halt"}},
+		{base + "fault halt a at=1ms\nfault restart a at=2ms\nfault restart a at=3ms",
+			[]string{"line 6", "duplicate restart", "line 5"}},
+	}
+	for _, c := range cases {
+		_, err := ParseTopology(c.src)
+		if err == nil {
+			t.Errorf("ParseTopology(%q) should fail", c.src)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("error %q for %q should mention %q", err, c.src, w)
+			}
+		}
+	}
+	// The same campaign against correct wiring is accepted.
+	ok := base + "fault sever a.0 at=1ms\nfault halt a at=1ms\nfault restart a at=2ms\n"
+	if _, err := ParseTopology(ok); err != nil {
+		t.Errorf("valid campaign rejected: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"transputer/internal/core"
 	"transputer/internal/fault"
+	"transputer/internal/link"
 	"transputer/internal/probe"
 	"transputer/internal/sim"
 )
@@ -35,6 +36,33 @@ func (s *System) ApplyFaults(plan fault.Plan) error {
 	inj, err := fault.NewInjector(plan)
 	if err != nil {
 		return err
+	}
+	if s.hb.set {
+		// With liveness monitoring on, peers resynchronise their link
+		// streams at the heartbeat down verdict and the restarted node
+		// resets its own at boot.  An outage shorter than the detection
+		// window would reset only one end and desynchronise the byte
+		// stream, so reject such plans outright.
+		timeout := s.hb.timeout
+		if timeout <= 0 {
+			timeout = link.DefaultBeatTimeout
+		}
+		for i, r := range plan.Rules {
+			if r.Kind != fault.Restart {
+				continue
+			}
+			var haltAt sim.Time
+			for _, h := range plan.Rules {
+				if h.Kind == fault.Halt && h.Node == r.Node && h.At < r.At && h.At > haltAt {
+					haltAt = h.At
+				}
+			}
+			if haltAt > 0 && r.At-haltAt < 2*timeout {
+				return fmt.Errorf("network: rule %d: restart of %q only %v after its halt; "+
+					"outages must exceed twice the heartbeat timeout (%v) for link streams to resynchronise",
+					i, r.Node, r.At-haltAt, timeout)
+			}
+		}
 	}
 	for _, n := range s.nodes {
 		for l := 0; l < core.NumLinks; l++ {
@@ -65,11 +93,124 @@ func (s *System) ApplyFaults(plan fault.Plan) error {
 		case fault.Halt:
 			n.shard.Schedule(r.At, func() {
 				n.M.ForceHalt("fault injection")
+				n.Engine.StopHeartbeat()
 				n.Engine.SeverAll()
+				s.notifyDown(n)
 			})
+		case fault.Restart:
+			// Decide now, from the plan, which links the revived node
+			// gets back: every wired link except those a Sever cut for
+			// good and those whose peer is itself down at the restart
+			// instant (the peer's own later restart restores the shared
+			// link).  Cross-shard pairs that will be restored must stay
+			// in the coordinator's wiring matrix across the outage.
+			restore := restorableLinks(n, plan, r.At)
+			for _, l := range restore {
+				if mark := n.severs[l]; mark != nil {
+					mark.keep = true
+				}
+			}
+			n.shard.Schedule(r.At, func() { s.restartNode(n, restore) })
 		}
 	}
 	return nil
+}
+
+// restorableLinks lists the links of n that a restart at the given
+// instant reconnects.
+func restorableLinks(n *Node, plan fault.Plan, at sim.Time) []int {
+	var out []int
+	for l := 0; l < core.NumLinks; l++ {
+		if !n.Engine.Connected(l) {
+			continue
+		}
+		severed := false
+		pn, pl, engPeer := n.Peer(l)
+		for _, r := range plan.Rules {
+			if r.Kind != fault.Sever || r.At > at {
+				continue
+			}
+			if r.Node == n.Name && r.Link == l ||
+				engPeer && r.Node == pn.Name && r.Link == pl {
+				severed = true
+				break
+			}
+		}
+		if severed {
+			continue
+		}
+		if engPeer && nodeDownAt(plan, pn.Name, at) {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// nodeDownAt reports whether the plan has the named node halted at the
+// given instant: its latest halt or restart rule at or before that
+// time decides, with a tie going to the halt (conservative — a link to
+// a node halting at this very instant is not worth restoring).
+func nodeDownAt(plan fault.Plan, node string, at sim.Time) bool {
+	var last sim.Time
+	down := false
+	for _, r := range plan.Rules {
+		if r.Node != node || r.At > at {
+			continue
+		}
+		switch r.Kind {
+		case fault.Halt:
+			if r.At >= last {
+				last, down = r.At, true
+			}
+		case fault.Restart:
+			if r.At > last {
+				last, down = r.At, false
+			}
+		}
+	}
+	return down
+}
+
+// restartNode revives a halted node: the processor resumes with its
+// frozen state, the given links are reconnected and their in-flight
+// error-detecting transfers recovered at both ends, the liveness
+// monitor restarts, and node-up subscribers (the routing layer) are
+// told to rejoin.  Runs on the node's shard at the restart instant.
+func (s *System) restartNode(n *Node, restore []int) {
+	if !n.M.ClearForcedHalt() {
+		return
+	}
+	now := n.shard.Now()
+	for _, l := range restore {
+		n.Engine.RestoreLink(l)
+	}
+	// Node-up subscribers run between restore and recovery on purpose:
+	// the routing layer's boot resets the restored links to power-on
+	// state, which makes the recovery below a no-op on router-managed
+	// links — a restarted router node must not retransmit a pre-crash
+	// byte into a peer that reset its stream.  On bare systems the
+	// subscriber list is empty and recovery resumes frozen transfers.
+	s.notifyUp(n)
+	for _, l := range restore {
+		// RestoreLink (above) and the peer recovery both post to the
+		// peer's shard at now+Lookahead, and mailbox order (same
+		// instant, same source) revives the wire before any
+		// retransmission crosses it.
+		n.Engine.RecoverLink(l)
+		pn, pl, ok := n.Peer(l)
+		if !ok {
+			continue // host link: the wire is back; stalled host transfers are not replayed
+		}
+		if pn.shard == n.shard {
+			pn.Engine.RecoverLink(pl)
+		} else {
+			pe, plnk := pn.Engine, pl
+			n.shard.Post(pn.shard, now+Lookahead, func() { pe.RecoverLink(plnk) })
+		}
+	}
+	n.Engine.StartHeartbeat()
+	n.runner.Start()
 }
 
 // WatchdogProc is one blocked process in a watchdog report.

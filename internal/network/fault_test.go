@@ -135,6 +135,58 @@ func TestLossyCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// jitterCampaign runs a 30-word reliable-mode transfer with every
+// acknowledge jittered by up to max, checks the delivered sum is exact
+// (no word lost, none duplicated), and returns the retransmit count.
+// The data wire is left clean: a delayed data packet also delays its
+// own transmit-end, so only acknowledge jitter races the sender's
+// retransmit timer.
+func jitterCampaign(t *testing.T, max sim.Time) uint64 {
+	t.Helper()
+	s := network.NewSystem()
+	bus := probe.NewBus()
+	met := probe.NewMetrics(bus)
+	s.AttachProbe(bus)
+	a := s.MustAddTransputer("a", cfg())
+	b := s.MustAddTransputer("b", cfg())
+	s.MustConnect(a, 1, b, 0)
+	s.SetLinkMode(network.LinkMode{Reliable: true, Timeout: 10 * sim.Microsecond, Retries: 64})
+	load(t, a, senderLoop(30))
+	load(t, b, receiverLoop(30))
+	err := s.ApplyFaults(fault.Plan{Seed: 99, Rules: []fault.Rule{
+		{Kind: fault.Jitter, Node: "b", Link: 0, Rate: 1, Max: max},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(100 * sim.Millisecond)
+	if !rep.Settled {
+		t.Fatalf("jittered campaign did not settle: %+v", rep)
+	}
+	if got := b.M.Local(3); got != 465 {
+		t.Fatalf("sum = %d, want 465 (jitter duplicated or lost a word)", got)
+	}
+	met.Finish(rep.Time)
+	return met.Retransmits("a", 1)
+}
+
+// TestJitterRetransmitRace: acknowledge jitter bounded just below the
+// retransmit timeout must never fire the timer; jitter reaching just
+// beyond it must — and the retransmissions the late acknowledges cross
+// with must be suppressed by the alternating sequence bit, not
+// delivered twice.  (Far larger jitter is a different regime: every
+// retransmission draws a re-acknowledge that queues behind the delayed
+// ones, the return wire falls permanently behind and the sender
+// rightly declares the link down.)
+func TestJitterRetransmitRace(t *testing.T) {
+	if r := jitterCampaign(t, 8*sim.Microsecond); r != 0 {
+		t.Errorf("jitter below the timeout caused %d retransmits", r)
+	}
+	if r := jitterCampaign(t, 12*sim.Microsecond); r == 0 {
+		t.Error("jitter beyond the timeout caused no retransmits")
+	}
+}
+
 // TestSeverWatchdog: a link severed mid-stream strands the sender and
 // receiver; the settled system's watchdog names both processes, their
 // block kinds and the severed link.

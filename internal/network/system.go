@@ -39,6 +39,12 @@ type Node struct {
 	shard  *sim.Shard
 	col    *collector
 	wired  [core.NumLinks]bool
+	// peers and peerLink record what each wired link connects to: the
+	// node at the other end and its link index (peers[l] is nil for
+	// host links).  The restart machinery and the routing layer both
+	// need the topology back out of the wiring.
+	peers    [core.NumLinks]*Node
+	peerLink [core.NumLinks]int
 	// severs maps each cross-shard link to the shared per-connection
 	// sever marker (nil for host links and same-shard wiring).
 	severs [core.NumLinks]*severMark
@@ -50,6 +56,12 @@ type Node struct {
 type severMark struct {
 	a, b int // shard IDs of the two ends
 	done bool
+	// keep pins the pair in the wiring matrix even when severed: a
+	// scheduled Restart will restore this link, and re-adding a retired
+	// matrix edge later would be unsound (a shard may already have run
+	// past the instant a restored wire would deliver into).  Keeping
+	// the edge merely keeps windows conservative.
+	keep bool
 }
 
 // Clock returns the node's scheduling domain (its shard), for code
@@ -85,6 +97,18 @@ type System struct {
 	// goroutines, and both ends of a connection may fire in the same
 	// window.
 	severMu sync.Mutex
+	// hb is the system-wide heartbeat configuration, applied to every
+	// engine present and future; monitors start when Run does.
+	hb struct {
+		interval sim.Time
+		timeout  sim.Time
+		set      bool
+	}
+	// downSubs and upSubs hear node liveness transitions driven by the
+	// fault schedule (halt and restart rules).  Callbacks run on the
+	// affected node's shard; subscribe before Run.
+	downSubs []func(*Node)
+	upSubs   []func(*Node)
 }
 
 // NewSystem returns an empty system.
@@ -142,6 +166,9 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 	}
 	if s.blockCacheOff {
 		m.SetBlockCache(false)
+	}
+	if s.hb.set {
+		n.Engine.SetHeartbeat(s.hb.interval, s.hb.timeout)
 	}
 	s.nodes = append(s.nodes, n)
 	s.byName[name] = n
@@ -258,6 +285,8 @@ func (s *System) Connect(a *Node, la int, b *Node, lb int) error {
 	link.Connect(a.Engine, la, b.Engine, lb)
 	a.wired[la] = true
 	b.wired[lb] = true
+	a.peers[la], a.peerLink[la] = b, lb
+	b.peers[lb], b.peerLink[lb] = a, la
 	if a.shard != b.shard {
 		// Register the pair in the coordinator's wiring matrix: window
 		// horizons then follow the actual topology (shortest influence
@@ -280,7 +309,7 @@ func (s *System) Connect(a *Node, la int, b *Node, lb int) error {
 // the whole system has executed past the cut.
 func (s *System) linkSevered(n *Node, l int) {
 	mark := n.severs[l]
-	if mark == nil {
+	if mark == nil || mark.keep {
 		return
 	}
 	s.severMu.Lock()
@@ -293,6 +322,79 @@ func (s *System) linkSevered(n *Node, l int) {
 	cut := n.shard.Now() + Lookahead
 	s.coord.Unwire(mark.a, mark.b, cut)
 	s.coord.Unwire(mark.b, mark.a, cut)
+}
+
+// Peer reports what link l of the node is wired to: the node at the
+// other end and its link index.  ok is false for unwired and
+// host-wired links.
+func (n *Node) Peer(l int) (peer *Node, peerLink int, ok bool) {
+	if l < 0 || l >= core.NumLinks || n.peers[l] == nil {
+		return nil, 0, false
+	}
+	return n.peers[l], n.peerLink[l], true
+}
+
+// Publish emits a probe event through the node's collector, stamped
+// with the node's name and current shard time.  For publishers outside
+// the machine and engine — the routing layer — running on the node's
+// shard.  The cycle counter is deliberately left unstamped: such
+// publishers run asynchronously to the CPU, and its cycle count at
+// this instant depends on simulator batching, not architecture.
+func (n *Node) Publish(ev probe.Event) {
+	if n.col == nil {
+		return
+	}
+	ev.Time = n.shard.Now()
+	ev.Node = n.Name
+	n.col.bus.Publish(ev)
+}
+
+// SetHeartbeat configures link liveness monitoring on every node,
+// present and future (zero values select the defaults); the monitors
+// start when Run does.  See link.SetHeartbeat.
+func (s *System) SetHeartbeat(interval, timeout sim.Time) {
+	s.hb.interval, s.hb.timeout, s.hb.set = interval, timeout, true
+	for _, n := range s.nodes {
+		n.Engine.SetHeartbeat(interval, timeout)
+	}
+}
+
+// HeartbeatSet reports whether system-wide liveness monitoring is
+// configured.
+func (s *System) HeartbeatSet() bool { return s.hb.set }
+
+// LinkMode reports the system-wide link protocol configuration.
+func (s *System) LinkMode() LinkMode { return s.linkMode }
+
+// StopHeartbeats cancels every node's liveness monitor so a run can
+// quiesce; call between Run and a final Continue.
+func (s *System) StopHeartbeats() {
+	for _, n := range s.nodes {
+		n.Engine.StopHeartbeat()
+	}
+}
+
+// OnNodeDown registers a callback for nodes stopped by a halt rule.
+// It runs on the affected node's shard, at the instant of the halt.
+func (s *System) OnNodeDown(fn func(*Node)) { s.downSubs = append(s.downSubs, fn) }
+
+// OnNodeUp registers a callback for nodes revived by a restart rule.
+// It runs on the affected node's shard, after the links are restored
+// but before their frozen transfers are recovered and the processor is
+// released — so a routing layer can reset the restored links to a
+// fresh stream before any pre-crash byte is retransmitted.
+func (s *System) OnNodeUp(fn func(*Node)) { s.upSubs = append(s.upSubs, fn) }
+
+func (s *System) notifyDown(n *Node) {
+	for _, fn := range s.downSubs {
+		fn(n)
+	}
+}
+
+func (s *System) notifyUp(n *Node) {
+	for _, fn := range s.upSubs {
+		fn(n)
+	}
 }
 
 // MustConnect is Connect that panics on bad topology.
@@ -350,6 +452,9 @@ type Report struct {
 func (s *System) Run(limit sim.Time) Report {
 	for _, n := range s.nodes {
 		n.runner.Start()
+		if s.hb.set {
+			n.Engine.StartHeartbeat()
+		}
 	}
 	var rep Report
 	if limit > 0 {

@@ -48,6 +48,11 @@ func TestKindExhaustive(t *testing.T) {
 		NodeHalt:       {Event{}, "node.halt", "i"},
 		Deadlock:       {Event{Proc: 0x101, Addr: 0x80}, "deadlock", "i"},
 		FlowArrive:     {Event{Link: 1, Flow: flowLink}, "flow.arrive", "i"},
+		Heartbeat:      {Event{Link: 1, Arg: 0, Dur: 5000}, "heartbeat", "i"},
+		RouteChange:    {Event{Arg: 7}, "route.change", "i"},
+		NodeRestart:    {Event{}, "node.restart", "i"},
+		RouteReplay:    {Event{Arg: 2}, "route.replay", "i"},
+		RouteDeliver:   {Event{Arg: 3, Bytes: 16}, "route.deliver", "i"},
 	}
 
 	b := NewBus()

@@ -101,6 +101,23 @@ const (
 	// receiving node's timeline.  Link is the receiving link index, Flow
 	// the flow identity carried by the packet.
 	FlowArrive
+	// Heartbeat: the liveness monitor changed its verdict on a link's
+	// peer.  Arg is 1 when the peer came (back) up, 0 when it was
+	// declared unresponsive; Dur is the observed silence.
+	Heartbeat
+	// RouteChange: the routing layer recomputed this node's next-hop
+	// table after a link verdict or a link-state advertisement; Arg is
+	// the number of destinations currently reachable.
+	RouteChange
+	// NodeRestart: a restart rule revived this halted node.
+	NodeRestart
+	// RouteReplay: an origin re-injected an end-to-end message whose
+	// acknowledgement had not arrived; Arg is the replay attempt number.
+	RouteReplay
+	// RouteDeliver: an end-to-end routed message reached its destination
+	// and was handed to the application in order; Arg is the message
+	// sequence number, Bytes the payload length.
+	RouteDeliver
 
 	numKinds
 )
@@ -131,6 +148,11 @@ var kindNames = [numKinds]string{
 	NodeHalt:       "node.halt",
 	Deadlock:       "deadlock",
 	FlowArrive:     "flow.arrive",
+	Heartbeat:      "heartbeat",
+	RouteChange:    "route.change",
+	NodeRestart:    "node.restart",
+	RouteReplay:    "route.replay",
+	RouteDeliver:   "route.deliver",
 }
 
 // String returns the event kind's dotted name.

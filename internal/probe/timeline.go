@@ -270,6 +270,34 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 				Tid: procTid(e.Node, e.Proc), Cat: "watchdog", S: "p",
 				Args: map[string]interface{}{"chan": hex(e.Addr), "link": e.Link},
 			})
+		case Heartbeat:
+			out = append(out, chromeEvent{
+				Name: "heartbeat", Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "health", S: "t",
+				Args: map[string]interface{}{"up": e.Arg == 1, "silence": usec(e.Dur)},
+			})
+		case RouteChange:
+			out = append(out, chromeEvent{
+				Name: "route.change", Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidSched, Cat: "route", S: "t",
+				Args: map[string]interface{}{"reachable": e.Arg},
+			})
+		case NodeRestart:
+			out = append(out, chromeEvent{
+				Name: "node.restart", Ph: "i", Ts: usec(e.Time), Pid: p, Tid: tidSched, Cat: "fault", S: "p",
+			})
+		case RouteReplay:
+			out = append(out, chromeEvent{
+				Name: "route.replay", Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidSched, Cat: "route", S: "t",
+				Args: map[string]interface{}{"attempt": e.Arg},
+			})
+		case RouteDeliver:
+			out = append(out, chromeEvent{
+				Name: "route.deliver", Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidSched, Cat: "route", S: "t",
+				Args: map[string]interface{}{"seq": e.Arg, "bytes": e.Bytes},
+			})
 		}
 	}
 	// Close any slice still open at the end of the run.

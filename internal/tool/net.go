@@ -8,6 +8,7 @@ import (
 
 	"transputer/internal/core"
 	"transputer/internal/network"
+	"transputer/internal/route"
 	"transputer/internal/sim"
 )
 
@@ -25,6 +26,8 @@ type Network struct {
 	System   *network.System
 	Hosts    []*network.Host
 	Programs []Program
+	// Router is the routing layer, when the topology enables it.
+	Router *route.Router
 	// Limit is the topology's run limit (defaulted to one second).
 	Limit sim.Time
 }
@@ -84,8 +87,27 @@ func BuildNetwork(topo *network.Topology, baseDir string, out io.Writer) (*Netwo
 		net.Hosts = append(net.Hosts, host)
 	}
 	s.SetLinkMode(topo.LinkMode)
+	if topo.Heartbeat.Set {
+		s.SetHeartbeat(topo.Heartbeat.Interval, topo.Heartbeat.Timeout)
+	}
+	if topo.Route.Enabled {
+		r, err := route.Attach(s, route.Config{
+			HopTimeout:    topo.Route.Hop,
+			ReplayTimeout: topo.Route.Replay,
+			TTL:           topo.Route.TTL,
+		})
+		if err != nil {
+			return nil, err
+		}
+		net.Router = r
+	}
 	if err := s.ApplyFaults(topo.Plan()); err != nil {
 		return nil, err
+	}
+	for _, m := range topo.Messages {
+		if _, err := net.Router.SendAt(m.At, m.From, m.To, []byte(m.Data)); err != nil {
+			return nil, err
+		}
 	}
 	net.Limit = topo.RunLimit
 	if net.Limit == 0 {

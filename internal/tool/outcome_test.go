@@ -1,0 +1,119 @@
+package tool
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"transputer/internal/network"
+)
+
+func TestVerdictPrecedence(t *testing.T) {
+	stall := &network.WatchdogReport{HostStalls: []network.HostStall{{Node: "a", Link: 0}}}
+	dead := &network.WatchdogReport{DownLinks: []network.DownLink{{Node: "a", Link: 0}}}
+	cases := []struct {
+		wd          *network.WatchdogReport
+		undelivered int
+		want        int
+	}{
+		{nil, 0, ExitOK},
+		{dead, 0, ExitDeadlock},
+		{nil, 3, ExitPartition},
+		{dead, 3, ExitPartition},  // lost traffic explains the dead links
+		{stall, 0, ExitHostStall}, // a stalled host names the culprit directly
+		{stall, 3, ExitHostStall},
+	}
+	for i, c := range cases {
+		if got := Verdict(c.wd, c.undelivered); got != c.want {
+			t.Errorf("case %d: Verdict = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// TestRoutedTopologyEndToEnd drives the whole stack the way tnet does:
+// parse a routed topology with a sever, a halt and a restart, build
+// it, run the phased quiesce flow, and demand a clean verdict with
+// every message delivered.
+func TestRoutedTopologyEndToEnd(t *testing.T) {
+	src := `
+transputer n0 t424 mem=64K
+transputer n1 t424 mem=64K
+transputer n2 t424 mem=64K
+transputer n3 t424 mem=64K
+connect n0.1 n1.0
+connect n1.1 n2.0
+connect n2.1 n3.0
+connect n3.1 n0.0
+linkmode reliable
+heartbeat interval=20us timeout=100us
+route
+message n1 n2 at=50us  data=before
+message n1 n2 at=210us data=during
+message n0 n2 at=2ms   data=after
+fault sever n1.1 at=200us
+fault halt n3 at=300us
+fault restart n3 at=900us
+run 8ms
+`
+	topo, err := network.ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildNetwork(topo, ".", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunToQuiescence(net)
+	if !rep.Settled {
+		t.Fatalf("run did not settle: %+v", rep)
+	}
+	wd := net.System.Watchdog()
+	if code := Verdict(wd, net.Router.Undelivered()); code != ExitOK {
+		t.Fatalf("verdict = %d, want 0 (watchdog: %v, undelivered: %d)",
+			code, wd, net.Router.Undelivered())
+	}
+	if got := len(net.Router.AllDeliveries()); got != 3 {
+		t.Fatalf("delivered %d of 3 messages", got)
+	}
+	var sb strings.Builder
+	PrintRouteSummary(&sb, net.Router)
+	if !strings.Contains(sb.String(), "delivered 3 of 3") {
+		t.Errorf("summary = %q", sb.String())
+	}
+}
+
+// TestRoutedTopologyPartitionVerdict: an unsurvivable cut yields the
+// partition exit code and names the lost message.
+func TestRoutedTopologyPartitionVerdict(t *testing.T) {
+	src := `
+transputer n0 t424 mem=64K
+transputer n1 t424 mem=64K
+connect n0.0 n1.0
+linkmode reliable
+heartbeat interval=20us timeout=100us
+route
+message n0 n1 at=500us data=doomed
+fault sever n0.0 at=100us
+run 4ms
+`
+	topo, err := network.ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildNetwork(topo, ".", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunToQuiescence(net)
+	if !rep.Settled {
+		t.Fatalf("run did not settle: %+v", rep)
+	}
+	if code := Verdict(net.System.Watchdog(), net.Router.Undelivered()); code != ExitPartition {
+		t.Fatalf("verdict = %d, want %d", code, ExitPartition)
+	}
+	var sb strings.Builder
+	PrintRouteSummary(&sb, net.Router)
+	if !strings.Contains(sb.String(), "LOST n0 -> n1 seq 0") {
+		t.Errorf("summary should name the lost message, got %q", sb.String())
+	}
+}
