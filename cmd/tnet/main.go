@@ -6,10 +6,14 @@
 //
 //	tnet [-stats] [-timeline out.json] [-metrics] [-flows out.json]
 //	     [-prof out.prof] [-profperiod us] [-seed n] [-workers n]
-//	     [-blockcache=false] network.tnet
+//	     [-vchan n] [-blockcache=false] network.tnet
 //
 // -seed overrides the topology file's seed directive, so one fault
-// campaign file can be replayed under many seeds.
+// campaign file can be replayed under many seeds.  -vchan overrides
+// the file's vchan directives, multiplexing n virtual channels over
+// every transputer-to-transputer connection; a multiplexed wire
+// refuses plain transfers, so the programs (or the routing layer)
+// must address those links through their LINKnVCm channels.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	prof := flag.String("prof", "", "sample every node's instruction pointer and write a profile to this file")
 	profPeriod := flag.Int("profperiod", 10, "profiler sampling period in simulated microseconds")
 	seed := flag.Uint64("seed", 0, "override the topology's fault-plan seed")
+	vchan := flag.Int("vchan", 0, "multiplex this many virtual channels over every transputer-to-transputer connection (overrides the topology's vchan directives)")
 	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (purely a simulator speed switch; output is identical either way)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,6 +56,17 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
 	if seedSet {
 		topo.Seed = *seed
+	}
+	if *vchan > 0 {
+		// The parse-time cross-checks (no faults on multiplexed wires)
+		// ran against the file's own directives; re-check the override.
+		if len(topo.Faults) > 0 {
+			fatal(fmt.Errorf("-vchan cannot be combined with a fault campaign"))
+		}
+		topo.VChans = topo.VChans[:0]
+		for _, c := range topo.Connections {
+			topo.VChans = append(topo.VChans, network.VChanSpec{Node: c.A, Link: c.ALink, Count: *vchan})
+		}
 	}
 	net, err := tool.BuildNetwork(topo, filepath.Dir(flag.Arg(0)), os.Stdout)
 	if err != nil {

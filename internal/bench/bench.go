@@ -121,9 +121,70 @@ PAR
   recv(in)
 `
 
+// vcfanSrcSource is the many-producers side of the virtual-channel
+// fan: eight independent streams all leave through the same physical
+// wire, each on its own virtual channel, so the mux's round-robin
+// interleaving and per-channel credit are on the benchmark's hot path.
+const vcfanSrcSource = `DEF rounds = 128:
+CHAN c0, c1, c2, c3, c4, c5, c6, c7:
+PLACE c0 AT LINK1VC0OUT:
+PLACE c1 AT LINK1VC1OUT:
+PLACE c2 AT LINK1VC2OUT:
+PLACE c3 AT LINK1VC3OUT:
+PLACE c4 AT LINK1VC4OUT:
+PLACE c5 AT LINK1VC5OUT:
+PLACE c6 AT LINK1VC6OUT:
+PLACE c7 AT LINK1VC7OUT:
+PROC src(CHAN out, VALUE rounds) =
+  SEQ i = [0 FOR rounds]
+    out ! i + i
+:
+PAR
+  src(c0, rounds)
+  src(c1, rounds)
+  src(c2, rounds)
+  src(c3, rounds)
+  src(c4, rounds)
+  src(c5, rounds)
+  src(c6, rounds)
+  src(c7, rounds)
+`
+
+// vcfanSinkSource drains the eight streams on the peer.
+const vcfanSinkSource = `DEF rounds = 128:
+CHAN c0, c1, c2, c3, c4, c5, c6, c7:
+PLACE c0 AT LINK1VC0IN:
+PLACE c1 AT LINK1VC1IN:
+PLACE c2 AT LINK1VC2IN:
+PLACE c3 AT LINK1VC3IN:
+PLACE c4 AT LINK1VC4IN:
+PLACE c5 AT LINK1VC5IN:
+PLACE c6 AT LINK1VC6IN:
+PLACE c7 AT LINK1VC7IN:
+PROC sink(CHAN in, VALUE rounds) =
+  VAR x, sum:
+  SEQ
+    sum := 0
+    SEQ i = [0 FOR rounds]
+      SEQ
+        in ? x
+        sum := sum + x
+:
+PAR
+  sink(c0, rounds)
+  sink(c1, rounds)
+  sink(c2, rounds)
+  sink(c3, rounds)
+  sink(c4, rounds)
+  sink(c5, rounds)
+  sink(c6, rounds)
+  sink(c7, rounds)
+`
+
 var images = struct {
 	once                sync.Once
 	ring, grid, compute core.Image
+	vcfanSrc, vcfanSink core.Image
 	err                 error
 }{}
 
@@ -137,6 +198,8 @@ func compile() error {
 			{ringSource, &c.ring},
 			{gridSource, &c.grid},
 			{computeSource, &c.compute},
+			{vcfanSrcSource, &c.vcfanSrc},
+			{vcfanSinkSource, &c.vcfanSink},
 		} {
 			r, err := occam.Compile(p.src, occam.Options{})
 			if err != nil {
@@ -227,8 +290,40 @@ func Grid(side int) (*network.System, error) {
 	return s, nil
 }
 
-// Build constructs a workload by name: "ring8", "grid3x3" or
-// "compute8".
+// VCFan wires two transputers by a single wire carrying `vchans`
+// virtual channels, with that many producer processes on one node all
+// streaming to matching consumers on the other — the many-channels-
+// few-wires shape the multiplexer exists for.
+func VCFan(vchans int) (*network.System, error) {
+	if err := compile(); err != nil {
+		return nil, err
+	}
+	s := network.NewSystem()
+	a, err := s.AddTransputer("a", config())
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.AddTransputer("b", config())
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Load(images.vcfanSrc); err != nil {
+		return nil, err
+	}
+	if err := b.Load(images.vcfanSink); err != nil {
+		return nil, err
+	}
+	if err := s.Connect(a, 1, b, 1); err != nil {
+		return nil, err
+	}
+	if err := s.EnableVChans(a, 1, vchans); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Build constructs a workload by name: "ring8", "grid3x3", "compute8"
+// or "vcfan8".
 func Build(name string) (*network.System, error) {
 	switch name {
 	case "ring8":
@@ -237,13 +332,15 @@ func Build(name string) (*network.System, error) {
 		return Grid(3)
 	case "compute8":
 		return ComputeRing(8)
+	case "vcfan8":
+		return VCFan(8)
 	default:
-		return nil, fmt.Errorf("bench: unknown workload %q (ring8, grid3x3, compute8)", name)
+		return nil, fmt.Errorf("bench: unknown workload %q (ring8, grid3x3, compute8, vcfan8)", name)
 	}
 }
 
 // Workloads lists the available workload names in canonical order.
-func Workloads() []string { return []string{"ring8", "grid3x3", "compute8"} }
+func Workloads() []string { return []string{"ring8", "grid3x3", "compute8", "vcfan8"} }
 
 // Run executes a built workload to completion and returns the total
 // machine cycles it simulated.  Every workload must settle — every

@@ -23,6 +23,15 @@ func (m *Machine) enableChannel() {
 			if m.eventEnable(func() { m.altChannelReady(wdesc) }) {
 				m.setWordIndex(w, wsState, m.altReady())
 			}
+		} else if e, ok := m.vchanChannel(ch); ok {
+			if e.out {
+				m.fault("alternative on output vchan channel", ch)
+			} else if m.vcExt != nil {
+				wdesc := m.Wdesc
+				if m.vcExt.EnableInputVC(e.link, e.vc, func() { m.altChannelReady(wdesc) }) {
+					m.setWordIndex(w, wsState, m.altReady())
+				}
+			}
 		} else if link, isOut, ok := m.externalChannel(ch); ok {
 			if isOut {
 				m.fault("alternative on output link channel", ch)
@@ -90,6 +99,10 @@ func (m *Machine) disableChannel() {
 	if guard != 0 {
 		if m.isEventChannel(ch) {
 			fired = m.eventDisable()
+		} else if e, ok := m.vchanChannel(ch); ok {
+			if !e.out && m.vcExt != nil {
+				fired = m.vcExt.DisableInputVC(e.link, e.vc)
+			}
 		} else if link, isOut, ok := m.externalChannel(ch); ok {
 			if !isOut && m.ext != nil {
 				fired = m.ext.DisableInput(link)

@@ -36,6 +36,13 @@ func (m *Machine) outputMessage() int {
 		m.fault("output on the event channel", chAddr)
 		return 1
 	}
+	if e, ok := m.vchanChannel(chAddr); ok {
+		if !e.out {
+			m.fault("output on input vchan channel", chAddr)
+			return 1
+		}
+		return m.vchanTransfer(e, chAddr, ptr, count, true)
+	}
 	if link, isOut, ok := m.externalChannel(chAddr); ok {
 		if !isOut {
 			m.fault("output on input link channel", chAddr)
@@ -108,6 +115,13 @@ func (m *Machine) inputMessage() int {
 	m.stats.MessagesIn++
 	if m.isEventChannel(chAddr) {
 		return m.eventInput()
+	}
+	if e, ok := m.vchanChannel(chAddr); ok {
+		if e.out {
+			m.fault("input on output vchan channel", chAddr)
+			return 1
+		}
+		return m.vchanTransfer(e, chAddr, ptr, count, false)
 	}
 	if link, isOut, ok := m.externalChannel(chAddr); ok {
 		if isOut {

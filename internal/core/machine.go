@@ -110,6 +110,12 @@ type Machine struct {
 	chanFlows  map[uint64]uint64
 	flowExt    FlowExternal
 
+	// Virtual-channel state, nil until the network layer maps a placed
+	// channel word onto a (link, vchan) endpoint: vchans keys masked
+	// channel addresses, vcExt is the cached VChanExternal view of ext.
+	vchans map[uint64]vchanEnd
+	vcExt  VChanExternal
+
 	// bc caches predecoded straight-line instruction blocks; curBlock
 	// and curIdx form the execution cursor into the block containing
 	// the current instruction pointer (see blockcache.go).
@@ -223,6 +229,7 @@ func (m *Machine) Attach(clock Clock, ext External) {
 	m.clock = clock
 	m.ext = ext
 	m.flowExt, _ = ext.(FlowExternal)
+	m.vcExt, _ = ext.(VChanExternal)
 }
 
 // OnReady registers the idle-to-ready callback used by the driver.

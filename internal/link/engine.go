@@ -1,0 +1,315 @@
+// The Engine ties the stack's layers to one machine's four links: it
+// implements core.External (machine-memory transfers and alternative
+// input) on top of the byte-transfer layer, owns per-link mode switches
+// (stop-and-wait, error detecting, heartbeats, virtual channels), and
+// carries the fault surface (hooks, sever, restore) down to the wires.
+package link
+
+import (
+	"transputer/internal/core"
+	"transputer/internal/probe"
+	"transputer/internal/sim"
+)
+
+// Engine implements core.External for one machine: four link output
+// halves and four input halves.  Unconnected links never complete a
+// transfer, exactly like real hardware with nothing wired to the pins.
+type Engine struct {
+	k    sim.Clock
+	m    *core.Machine
+	outs [core.NumLinks]*outHalf
+	ins  [core.NumLinks]*inHalf
+	bus  *probe.Bus
+
+	// mux holds the per-link virtual-channel multiplexers; nil entries
+	// are links carrying a single conversation (see vchan.go).
+	mux [core.NumLinks]*Mux
+
+	// hb is the liveness monitor state (see heartbeat.go); onBeat is
+	// told every verdict change.
+	hb     heartbeat
+	onBeat func(link int, up bool)
+
+	// onSever, when set, is told the first time each link of this engine
+	// is cut; the network layer uses it to retire the pair from the
+	// coordinator's wiring matrix so severed neighbourhoods stop
+	// constraining each other's windows.
+	onSever func(link int)
+}
+
+// NewEngine builds a link engine for a machine and attaches it.  The
+// clock is the machine's own scheduling domain — a standalone kernel
+// or a coordinator shard.
+func NewEngine(k sim.Clock, m *core.Machine) *Engine {
+	e := &Engine{k: k, m: m}
+	for i := range e.outs {
+		e.outs[i] = &outHalf{eng: e, link: i}
+		e.ins[i] = &inHalf{eng: e, link: i}
+	}
+	return e
+}
+
+// AttachProbe connects the engine's wires and senders to a probe bus.
+func (e *Engine) AttachProbe(b *probe.Bus) { e.bus = b }
+
+// OnSever registers the link-cut callback (see Engine.onSever).
+func (e *Engine) OnSever(fn func(link int)) { e.onSever = fn }
+
+// HandoffFlow implements core.FlowExternal: the machine tells the
+// engine which flow the transfer about to begin on a link belongs to.
+func (e *Engine) HandoffFlow(link int, out bool, flow uint64) {
+	if link < 0 || link >= core.NumLinks {
+		return
+	}
+	if out {
+		e.outs[link].flow = flow
+	} else {
+		e.ins[link].flow = flow
+	}
+}
+
+// TransferFlow implements core.FlowExternal: the flow currently
+// associated with a link direction.  For inputs this is the flow
+// carried by arrived packets, zero until the first one lands.
+func (e *Engine) TransferFlow(link int, out bool) uint64 {
+	if link < 0 || link >= core.NumLinks {
+		return 0
+	}
+	if out {
+		return e.outs[link].flow
+	}
+	return e.ins[link].flow
+}
+
+// emit stamps and publishes a probe event under the engine's machine.
+// Callers must have checked e.bus != nil.
+func (e *Engine) emit(ev probe.Event) {
+	ev.Time = e.k.Now()
+	ev.Node = e.m.Name()
+	ev.Cycles = e.m.Stats().Cycles
+	e.bus.Publish(ev)
+}
+
+// Connect wires link la of engine a to link lb of engine b with a pair
+// of signal lines.  Engines on the same clock domain get the
+// synchronous fast path; engines on different shards of one
+// coordinator get mailbox delivery with the coordinator's lookahead as
+// the wire's propagation delay.
+func Connect(a *Engine, la int, b *Engine, lb int) {
+	ab := &wire{k: a.k, bitNs: BitNs, owner: a, link: la}
+	ba := &wire{k: b.k, bitNs: BitNs, owner: b, link: lb}
+	if post, prop := sim.CrossPath(a.k, b.k); post != nil {
+		ab.post, ab.prop, ab.rx = post, prop, &rxGate{}
+	}
+	if post, prop := sim.CrossPath(b.k, a.k); post != nil {
+		ba.post, ba.prop, ba.rx = post, prop, &rxGate{}
+	}
+	a.outs[la].wire = ab
+	a.outs[la].peer = b.ins[lb]
+	a.ins[la].ackWire = ab
+	a.ins[la].peerOut = b.outs[lb]
+	b.outs[lb].wire = ba
+	b.outs[lb].peer = a.ins[la]
+	b.ins[lb].ackWire = ba
+	b.ins[lb].peerOut = a.outs[la]
+}
+
+// Connected reports whether link i has been wired.
+func (e *Engine) Connected(i int) bool {
+	return i >= 0 && i < core.NumLinks && e.outs[i].wire != nil
+}
+
+// WireStats returns the traffic counters of link i's outgoing line.
+func (e *Engine) WireStats(i int) WireStats {
+	if !e.Connected(i) {
+		return WireStats{}
+	}
+	return e.outs[i].wire.stats
+}
+
+// BeginOutput starts transmitting count bytes from machine memory.
+func (e *Engine) BeginOutput(link int, ptr uint64, count int, done func()) {
+	if e.mux[link] != nil {
+		// The multiplexer owns this link's byte stream; a plain output
+		// on the link word would corrupt its framing.  Hang, like any
+		// other occam channel misuse, for the watchdog to report.
+		return
+	}
+	o := e.outs[link]
+	if o.active {
+		// Two processes using one channel end is an occam program
+		// error; mirror hardware by corrupting nothing and hanging.
+		return
+	}
+	if count == 0 {
+		done()
+		return
+	}
+	m := e.m
+	o.start(func(i int) byte { return m.ReadBytes(ptr+uint64(i), 1)[0] }, count, done)
+}
+
+// BeginInput starts receiving count bytes into machine memory.
+func (e *Engine) BeginInput(link int, ptr uint64, count int, done func()) {
+	if e.mux[link] != nil {
+		return
+	}
+	in := e.ins[link]
+	if in.active {
+		return
+	}
+	if count == 0 {
+		done()
+		return
+	}
+	m := e.m
+	in.start(func(i int, b byte) { m.WriteBytes(ptr+uint64(i), []byte{b}) }, count, done)
+}
+
+// SetStopAndWait switches this engine's receivers between the paper's
+// overlapped acknowledge (false, the default) and a plain
+// stop-and-wait handshake (true).
+func (e *Engine) SetStopAndWait(v bool) {
+	for _, in := range e.ins {
+		in.stopAndWait = v
+	}
+}
+
+// SetReliable switches every half of this engine into error-detecting
+// mode (CRC trailer, NAK, timeout retransmission with a bounded retry
+// budget) or back to the paper protocol.  Both ends of every wired link
+// must agree; set the mode before any traffic flows.  A zero timeout or
+// retry count selects the defaults.
+func (e *Engine) SetReliable(on bool, timeout sim.Time, maxRetries int) {
+	if timeout <= 0 {
+		timeout = DefaultRelTimeout
+	}
+	if maxRetries <= 0 {
+		maxRetries = DefaultRelRetries
+	}
+	for i := range e.outs {
+		e.outs[i].rel.on = on
+		e.outs[i].rel.timeout = timeout
+		e.outs[i].rel.maxRetries = maxRetries
+		e.ins[i].rel.on = on
+	}
+}
+
+// SetFaultHook installs (or with nil, removes) a fault-injection hook
+// on link i's outgoing signal line.
+func (e *Engine) SetFaultHook(i int, h FaultHook) {
+	if e.Connected(i) {
+		e.outs[i].wire.hook = h
+	}
+}
+
+// SeverLink cuts both signal lines of link i at the current instant:
+// nothing queued or in flight is delivered afterwards, exactly like a
+// cable pulled mid-run.  When the link crosses shards, the cut is
+// observed at the far end one propagation delay later: this end's
+// outgoing wire and inbound gate die now, the peer's die at now+prop —
+// a packet already in flight may still land before the cut reaches it.
+func (e *Engine) SeverLink(i int) {
+	if !e.Connected(i) {
+		return
+	}
+	w := e.outs[i].wire
+	if w.severed {
+		// Already cut (e.g. a halt's SeverAll after a sever of the same
+		// link, or both ends halting): the first cut killed both
+		// directions.  Going through the motions again would post
+		// across a coordinator wiring edge the first cut may have
+		// retired, into a peer shard that has since drifted ahead.
+		return
+	}
+	w.severed = true
+	peer := e.ins[i].peerOut
+	if w.post == nil {
+		if peer != nil && peer.wire != nil {
+			peer.wire.severed = true
+		}
+	} else {
+		// Inbound traffic stops being accepted here immediately; the
+		// peer's transmitter and its receive gate for our wire are cut
+		// when the break propagates.
+		if peer != nil && peer.wire != nil && peer.wire.rx != nil {
+			peer.wire.rx.severed = true
+		}
+		pw := peer
+		rx := w.rx
+		w.post(w.k.Now()+w.prop, func() {
+			if pw != nil && pw.wire != nil {
+				pw.wire.severed = true
+			}
+			rx.severed = true
+		})
+	}
+	if e.bus != nil {
+		e.emit(probe.Event{Kind: probe.LinkSever, Link: i})
+	}
+	if e.onSever != nil {
+		e.onSever(i)
+	}
+}
+
+// SeverAll cuts every connected link of the engine; used when a fault
+// campaign halts the whole node.
+func (e *Engine) SeverAll() {
+	for i := range e.outs {
+		e.SeverLink(i)
+	}
+}
+
+// RestoreLink reconnects both signal lines of link i, reversing
+// SeverLink with the same propagation discipline: this end's wire and
+// inbound gate revive now, the peer's revive one propagation later.
+// Only sound for links the network layer kept in the coordinator's
+// wiring matrix across the cut (see the restart fault rules).
+func (e *Engine) RestoreLink(i int) {
+	if !e.Connected(i) {
+		return
+	}
+	w := e.outs[i].wire
+	w.severed = false
+	peer := e.ins[i].peerOut
+	if w.post == nil {
+		if peer != nil && peer.wire != nil {
+			peer.wire.severed = false
+		}
+		return
+	}
+	if peer != nil && peer.wire != nil && peer.wire.rx != nil {
+		peer.wire.rx.severed = false
+	}
+	pw := peer
+	rx := w.rx
+	w.post(w.k.Now()+w.prop, func() {
+		if pw != nil && pw.wire != nil {
+			pw.wire.severed = false
+		}
+		rx.severed = false
+	})
+}
+
+// EnableInput arms alternative-input readiness signalling.
+func (e *Engine) EnableInput(link int, ready func()) bool {
+	if e.mux[link] != nil {
+		return false
+	}
+	in := e.ins[link]
+	if in.bufferValid {
+		return true
+	}
+	in.armed = ready
+	return false
+}
+
+// DisableInput disarms signalling and reports data availability.
+func (e *Engine) DisableInput(link int) bool {
+	if e.mux[link] != nil {
+		return false
+	}
+	in := e.ins[link]
+	in.armed = nil
+	return in.bufferValid
+}

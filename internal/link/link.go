@@ -14,13 +14,18 @@
 // buffer in each receiver ensures no information is lost: when no
 // process is waiting, the byte is buffered and the acknowledge is
 // withheld until a process inputs it.
+//
+// The package is organised as an explicit protocol stack, one layer per
+// file (see stack.go for the seams):
+//
+//	wire.go      wire scheduler: packet timing, ack priority, fault hooks
+//	xfer.go      byte transfer: the paper's data/acknowledge protocol
+//	reliable.go  reliability: CRC-8 trailer, sequence bit, NAK, retransmit
+//	heartbeat.go liveness: beats on idle wires, per-link verdicts
+//	stream.go    stream API: raw byte streams for the routing layer
+//	vchan.go     virtual channels: N logical channels per physical wire
+//	engine.go    the Engine tying the layers to a machine's four links
 package link
-
-import (
-	"transputer/internal/core"
-	"transputer/internal/probe"
-	"transputer/internal/sim"
-)
 
 // Protocol constants (paper, 2.3/2.3.1): the standard transmission rate
 // is 10 MHz, about 1 Mbyte/s in each direction of each link.
@@ -54,890 +59,15 @@ const (
 	BeatBits = 4
 )
 
-// WireStats counts traffic on one signal line.
+// WireStats counts traffic on one signal line.  DataBytes is goodput:
+// first transmissions only.  Retransmits counts data packets resent by
+// the error-detecting mode (timeout or NAK), so DataBytes+Retransmits
+// is the total data-packet count the wire carried.
 type WireStats struct {
-	DataBytes uint64
-	Acks      uint64
-	Naks      uint64
-	Beats     uint64
-	BusyNs    int64
-}
-
-// packetKind distinguishes the frames multiplexed down a signal line.
-type packetKind uint8
-
-const (
-	pktData packetKind = iota
-	pktAck
-	pktNak
-	pktBeat
-)
-
-// packet is one frame queued on a wire.  Sender-side callbacks
-// (onTxEnd) always fire — transmitting hardware cannot tell its bits
-// were lost — while receiver-side callbacks (deliverStart, deliver) are
-// skipped when a fault drops the packet or the wire is severed.
-type packet struct {
-	kind    packetKind
-	bits    int
-	payload byte   // data byte (pktData)
-	seq     byte   // sequence bit (error-detecting mode)
-	crc     byte   // check trailer (error-detecting mode)
-	flow    uint64 // probe flow identity carried across the wire; 0 untraced
-
-	onTxEnd      func()
-	deliverStart func()
-	deliver      func(p packet)
-}
-
-// FaultAction describes what an injected fault does to one packet.
-// The zero value leaves the packet untouched.
-type FaultAction struct {
-	// Drop loses the packet in transit: the sender still clocks the bits
-	// out, but the receiver never sees them.
-	Drop bool
-	// Corrupt is an XOR mask applied to a data packet's payload.
-	Corrupt byte
-	// Delay holds the wire for extra time before the bits go out.
-	Delay sim.Time
-}
-
-// FaultHook is consulted once per packet as it starts transmission on a
-// wire; isCtl reports a control packet (acknowledge or NAK) rather than
-// a data byte.  Hooks are installed by the fault-injection subsystem
-// and must be deterministic for a given call sequence.
-type FaultHook func(isCtl bool) FaultAction
-
-// rxGate is the receiver-side cut detector for a wire that crosses
-// shards: it is owned (read and written) by the receiving shard only,
-// so a sever can kill in-flight packets without touching sender state.
-type rxGate struct {
-	severed bool
-}
-
-// wire is a one-directional signal line: a serializer with priority for
-// acknowledges (so a long data stream in one direction cannot starve
-// the acknowledges of the reverse channel).  A wire lives entirely in
-// the sending engine's clock domain; when the receiver is on another
-// shard, deliveries travel through post with prop latency instead of
-// running synchronously.
-type wire struct {
-	k     sim.Clock
-	bitNs int64
-	busy  bool
-	acks  []packet // pending acknowledges and naks (sent first)
-	data  []packet // pending data bytes
-	stats WireStats
-
-	// post and prop are set when the receiving end lives on another
-	// shard: receiver-side callbacks are posted through the coordinator
-	// mailbox with prop propagation delay (the coordinator's
-	// conservative lookahead).  rx is then the receiver-owned cut gate.
-	post func(at sim.Time, fn func())
-	prop sim.Time
-	rx   *rxGate
-
-	// hook, when non-nil, injects faults into this wire's traffic.
-	hook FaultHook
-	// severed marks a cut wire: nothing queued or in flight is ever
-	// delivered after the cut.
-	severed bool
-
-	// owner and link attribute this wire's traffic to the engine whose
-	// outgoing signal line it is, for probe events.  Wires driven by a
-	// host end have no owner and publish nothing.
-	owner *Engine
-	link  int
-}
-
-func (w *wire) send(p packet) {
-	if p.kind != pktData {
-		w.acks = append(w.acks, p)
-	} else {
-		w.data = append(w.data, p)
-	}
-	if !w.busy {
-		w.transmitNext()
-	}
-}
-
-// emit publishes a probe event attributed to this wire's owning engine,
-// if any.
-func (w *wire) emit(ev probe.Event) {
-	if w.owner != nil && w.owner.bus != nil {
-		ev.Link = w.link
-		w.owner.emit(ev)
-	}
-}
-
-func (w *wire) transmitNext() {
-	var p packet
-	switch {
-	case len(w.acks) > 0:
-		p = w.acks[0]
-		w.acks = w.acks[1:]
-	case len(w.data) > 0:
-		p = w.data[0]
-		w.data = w.data[1:]
-	default:
-		w.busy = false
-		return
-	}
-	w.busy = true
-	isCtl := p.kind != pktData
-	var act FaultAction
-	if w.hook != nil {
-		act = w.hook(isCtl)
-	}
-	dur := int64(p.bits)*w.bitNs + int64(act.Delay)
-	w.stats.BusyNs += dur
-	switch p.kind {
-	case pktAck:
-		w.stats.Acks++
-	case pktNak:
-		w.stats.Naks++
-	case pktBeat:
-		w.stats.Beats++
-	default:
-		w.stats.DataBytes++
-	}
-	w.emit(probe.Event{Kind: probe.WirePacket,
-		Ack: isCtl, Bytes: boolByte(!isCtl), Dur: sim.Time(dur), Flow: p.flow})
-	if act.Delay > 0 {
-		w.emit(probe.Event{Kind: probe.FaultDelay, Ack: isCtl, Dur: act.Delay, Flow: p.flow})
-	}
-	if act.Corrupt != 0 && p.kind == pktData {
-		p.payload ^= act.Corrupt
-		w.emit(probe.Event{Kind: probe.FaultCorrupt, Arg: int64(act.Corrupt), Flow: p.flow})
-	}
-	dropped := act.Drop || w.severed
-	if act.Drop && !w.severed {
-		w.emit(probe.Event{Kind: probe.FaultDrop, Ack: isCtl, Flow: p.flow})
-	}
-	if w.post != nil {
-		// Cross-shard receiver: both callbacks travel through the
-		// mailbox, gated on the receiver-side cut flag (a cable cut is
-		// observed at the far end one propagation later; anything
-		// arriving after that is lost).  Packet completion keeps its
-		// exact wire timing — every frame lasts at least an
-		// acknowledge (2 bit times), which is precisely the
-		// coordinator's lookahead, so start+dur is always a legal
-		// cross-shard instant.  Only the reception-start signal (which
-		// fires the overlapped acknowledge) is deferred by the
-		// propagation delay.  Sender-side bookkeeping stays local.
-		start := w.k.Now()
-		rx := w.rx
-		if !dropped {
-			if ds := p.deliverStart; ds != nil {
-				w.post(start+w.prop, func() {
-					if !rx.severed {
-						ds()
-					}
-				})
-			}
-			if dv := p.deliver; dv != nil {
-				pp := p
-				w.post(start+sim.Time(dur), func() {
-					if !rx.severed {
-						dv(pp)
-					}
-				})
-			}
-		}
-		w.k.After(sim.Time(dur), func() {
-			if p.onTxEnd != nil {
-				p.onTxEnd()
-			}
-			w.transmitNext()
-		})
-		return
-	}
-	if !dropped && p.deliverStart != nil {
-		p.deliverStart()
-	}
-	w.k.After(sim.Time(dur), func() {
-		// A packet in flight when the wire is cut is lost too.
-		if !dropped && !w.severed && p.deliver != nil {
-			p.deliver(p)
-		}
-		if p.onTxEnd != nil {
-			p.onTxEnd()
-		}
-		w.transmitNext()
-	})
-}
-
-// outHalf is the sending side of one channel of a link.  The data
-// source is a per-transfer closure so both transputer memory and host
-// devices can feed it.
-type outHalf struct {
-	wire *wire // this end's outgoing signal line for the link
-	peer *inHalf
-
-	// eng and link attribute ack-stall probe events; nil for host ends.
-	eng  *Engine
-	link int
-
-	active  bool
-	read    func(i int) byte
-	count   int
-	sent    int
-	done    func()
-	txEnded bool // current byte finished transmitting
-	acked   bool // current byte acknowledged
-	// stalledAtStart marks a transfer that start() could not begin
-	// because the link had been declared down: no byte of it is on the
-	// wire, so recovery must send the first byte rather than retransmit.
-	stalledAtStart bool
-	// txEndAt records when the current byte finished transmitting, for
-	// measuring the wait for its acknowledge.
-	txEndAt sim.Time
-
-	// flow is the probe flow identity of the transfer in progress,
-	// handed over by the machine (core.FlowExternal); every packet of
-	// the transfer carries it.  Zero when untraced.
-	flow uint64
-
-	// rel is the error-detecting-mode sender state (see reliable.go).
-	rel relSender
-}
-
-// inHalf is the receiving side of one channel of a link.
-type inHalf struct {
-	ackWire *wire    // this end's outgoing line, used for acknowledges
-	peerOut *outHalf // the sender our acknowledges go to
-
-	active   bool
-	write    func(i int, b byte)
-	count    int
-	received int
-	done     func()
-
-	buffer      byte
-	bufferValid bool
-	armed       func() // alternative-input readiness callback
-
-	// ackSentAtStart records whether the acknowledge for the byte
-	// currently in flight was issued at reception start.
-	ackSentAtStart bool
-
-	// stopAndWait suppresses the overlapped acknowledge: the ack is
-	// only sent after the data byte has fully arrived.  Used by the
-	// ablation benchmarks to quantify what figure 1's early
-	// acknowledge buys.
-	stopAndWait bool
-
-	// eng and link attribute NAK probe events; nil for host ends.
-	eng  *Engine
-	link int
-
-	// flow is the probe flow identity carried by the packets arriving on
-	// this half — acknowledges and NAKs echo it back so the retry tail
-	// stays on the flow; flowSeen is the last flow for which a
-	// FlowArrive event was published (once per flow, on its first
-	// packet).
-	flow     uint64
-	flowSeen uint64
-
-	// rel is the error-detecting-mode receiver state (see reliable.go).
-	rel relReceiver
-}
-
-// Engine implements core.External for one machine: four link output
-// halves and four input halves.  Unconnected links never complete a
-// transfer, exactly like real hardware with nothing wired to the pins.
-type Engine struct {
-	k    sim.Clock
-	m    *core.Machine
-	outs [core.NumLinks]*outHalf
-	ins  [core.NumLinks]*inHalf
-	bus  *probe.Bus
-
-	// hb is the liveness monitor state (see heartbeat.go); onBeat is
-	// told every verdict change.
-	hb     heartbeat
-	onBeat func(link int, up bool)
-
-	// onSever, when set, is told the first time each link of this engine
-	// is cut; the network layer uses it to retire the pair from the
-	// coordinator's wiring matrix so severed neighbourhoods stop
-	// constraining each other's windows.
-	onSever func(link int)
-}
-
-var (
-	_ core.External     = (*Engine)(nil)
-	_ core.FlowExternal = (*Engine)(nil)
-)
-
-// NewEngine builds a link engine for a machine and attaches it.  The
-// clock is the machine's own scheduling domain — a standalone kernel
-// or a coordinator shard.
-func NewEngine(k sim.Clock, m *core.Machine) *Engine {
-	e := &Engine{k: k, m: m}
-	for i := range e.outs {
-		e.outs[i] = &outHalf{eng: e, link: i}
-		e.ins[i] = &inHalf{eng: e, link: i}
-	}
-	return e
-}
-
-// AttachProbe connects the engine's wires and senders to a probe bus.
-func (e *Engine) AttachProbe(b *probe.Bus) { e.bus = b }
-
-// OnSever registers the link-cut callback (see Engine.onSever).
-func (e *Engine) OnSever(fn func(link int)) { e.onSever = fn }
-
-// HandoffFlow implements core.FlowExternal: the machine tells the
-// engine which flow the transfer about to begin on a link belongs to.
-func (e *Engine) HandoffFlow(link int, out bool, flow uint64) {
-	if link < 0 || link >= core.NumLinks {
-		return
-	}
-	if out {
-		e.outs[link].flow = flow
-	} else {
-		e.ins[link].flow = flow
-	}
-}
-
-// TransferFlow implements core.FlowExternal: the flow currently
-// associated with a link direction.  For inputs this is the flow
-// carried by arrived packets, zero until the first one lands.
-func (e *Engine) TransferFlow(link int, out bool) uint64 {
-	if link < 0 || link >= core.NumLinks {
-		return 0
-	}
-	if out {
-		return e.outs[link].flow
-	}
-	return e.ins[link].flow
-}
-
-// emit stamps and publishes a probe event under the engine's machine.
-// Callers must have checked e.bus != nil.
-func (e *Engine) emit(ev probe.Event) {
-	ev.Time = e.k.Now()
-	ev.Node = e.m.Name()
-	ev.Cycles = e.m.Stats().Cycles
-	e.bus.Publish(ev)
-}
-
-func boolByte(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// Connect wires link la of engine a to link lb of engine b with a pair
-// of signal lines.  Engines on the same clock domain get the
-// synchronous fast path; engines on different shards of one
-// coordinator get mailbox delivery with the coordinator's lookahead as
-// the wire's propagation delay.
-func Connect(a *Engine, la int, b *Engine, lb int) {
-	ab := &wire{k: a.k, bitNs: BitNs, owner: a, link: la}
-	ba := &wire{k: b.k, bitNs: BitNs, owner: b, link: lb}
-	if post, prop := sim.CrossPath(a.k, b.k); post != nil {
-		ab.post, ab.prop, ab.rx = post, prop, &rxGate{}
-	}
-	if post, prop := sim.CrossPath(b.k, a.k); post != nil {
-		ba.post, ba.prop, ba.rx = post, prop, &rxGate{}
-	}
-	a.outs[la].wire = ab
-	a.outs[la].peer = b.ins[lb]
-	a.ins[la].ackWire = ab
-	a.ins[la].peerOut = b.outs[lb]
-	b.outs[lb].wire = ba
-	b.outs[lb].peer = a.ins[la]
-	b.ins[lb].ackWire = ba
-	b.ins[lb].peerOut = a.outs[la]
-}
-
-// Connected reports whether link i has been wired.
-func (e *Engine) Connected(i int) bool {
-	return i >= 0 && i < core.NumLinks && e.outs[i].wire != nil
-}
-
-// WireStats returns the traffic counters of link i's outgoing line.
-func (e *Engine) WireStats(i int) WireStats {
-	if !e.Connected(i) {
-		return WireStats{}
-	}
-	return e.outs[i].wire.stats
-}
-
-// BeginOutput starts transmitting count bytes from machine memory.
-func (e *Engine) BeginOutput(link int, ptr uint64, count int, done func()) {
-	o := e.outs[link]
-	if o.active {
-		// Two processes using one channel end is an occam program
-		// error; mirror hardware by corrupting nothing and hanging.
-		return
-	}
-	if count == 0 {
-		done()
-		return
-	}
-	m := e.m
-	o.start(func(i int) byte { return m.ReadBytes(ptr+uint64(i), 1)[0] }, count, done)
-}
-
-func (o *outHalf) start(read func(i int) byte, count int, done func()) {
-	o.active = true
-	o.read = read
-	o.count = count
-	o.sent = 0
-	o.done = done
-	o.stalledAtStart = false
-	if o.wire == nil || o.rel.failed {
-		// Unconnected or failed link: waits forever (until recovery).
-		o.stalledAtStart = o.rel.failed
-		return
-	}
-	o.sendByte()
-}
-
-func (o *outHalf) sendByte() {
-	b := o.read(o.sent)
-	o.txEnded = false
-	o.acked = false
-	if o.rel.on {
-		o.sendReliable(b)
-		return
-	}
-	in := o.peer
-	fl := o.flow
-	o.wire.send(packet{
-		kind:         pktData,
-		bits:         DataBits,
-		payload:      b,
-		flow:         fl,
-		deliverStart: func() { in.dataStart(fl) },
-		deliver:      func(p packet) { in.dataArrive(p) },
-		onTxEnd:      func() { o.txEnd() },
-	})
-}
-
-func (o *outHalf) txEnd() {
-	o.txEnded = true
-	if !o.acked && o.eng != nil {
-		o.txEndAt = o.eng.k.Now()
-	}
-	o.advance()
-}
-
-func (o *outHalf) ackArrived() {
-	o.heard()
-	// An ack landing after the byte finished transmitting stalls the
-	// sender for the difference (the overlapped acknowledge of figure 1
-	// exists to make this zero in the streaming case).
-	if o.txEnded && !o.acked && o.eng != nil && o.eng.bus != nil {
-		if stall := o.eng.k.Now() - o.txEndAt; stall > 0 {
-			o.eng.emit(probe.Event{Kind: probe.AckStall, Link: o.link,
-				Dur: stall, Flow: o.flow})
-		}
-	}
-	o.acked = true
-	o.advance()
-}
-
-// advance moves to the next byte once the current byte has both
-// finished transmitting and been acknowledged.  "The sending process may
-// proceed only after the acknowledge for the final byte of the message
-// has been received."
-func (o *outHalf) advance() {
-	if !o.active || !o.txEnded || !o.acked {
-		return
-	}
-	o.sent++
-	if o.sent == o.count {
-		o.active = false
-		done := o.done
-		o.done = nil
-		if done != nil {
-			done()
-		}
-		return
-	}
-	o.sendByte()
-}
-
-// BeginInput starts receiving count bytes into machine memory.
-func (e *Engine) BeginInput(link int, ptr uint64, count int, done func()) {
-	in := e.ins[link]
-	if in.active {
-		return
-	}
-	if count == 0 {
-		done()
-		return
-	}
-	m := e.m
-	in.start(func(i int, b byte) { m.WriteBytes(ptr+uint64(i), []byte{b}) }, count, done)
-}
-
-func (in *inHalf) start(write func(i int, b byte), count int, done func()) {
-	in.active = true
-	in.write = write
-	in.count = count
-	in.received = 0
-	in.done = done
-	if in.bufferValid {
-		// A byte arrived before the process was ready; consume it and
-		// release the withheld acknowledge.  (In error-detecting mode
-		// the acknowledge went out when the byte was accepted into the
-		// buffer, so none is owed here.)
-		b := in.buffer
-		in.bufferValid = false
-		in.store(b)
-		if !in.rel.on {
-			in.sendAck()
-		}
-	}
-}
-
-// dataStart fires when a data packet begins arriving: the acknowledge
-// goes out immediately if a process is waiting, making streaming
-// continuous.  The flow is noted before the overlapped acknowledge is
-// built so the ack already carries it.
-func (in *inHalf) dataStart(flow uint64) {
-	in.heard()
-	in.noteFlow(flow)
-	in.ackSentAtStart = false
-	if in.active && !in.stopAndWait {
-		in.sendAck()
-		in.ackSentAtStart = true
-	}
-}
-
-// noteFlow records the flow arriving on this half and publishes a
-// FlowArrive event the first time each flow's packets reach this node —
-// the instant the flow crosses the wire and joins this node's timeline.
-func (in *inHalf) noteFlow(flow uint64) {
-	if flow == 0 {
-		return
-	}
-	in.flow = flow
-	if flow == in.flowSeen || in.eng == nil || in.eng.bus == nil {
-		return
-	}
-	in.flowSeen = flow
-	// Stamped with time and node but not the machine cycle counter: the
-	// receiving CPU runs asynchronously to its link hardware, and its
-	// cycle count at this instant depends on simulator batching (the
-	// block cache), not on architecture.
-	in.eng.bus.Publish(probe.Event{Kind: probe.FlowArrive, Link: in.link, Flow: flow,
-		Time: in.eng.k.Now(), Node: in.eng.m.Name()})
-}
-
-// dataArrive fires when the data packet completes.
-func (in *inHalf) dataArrive(p packet) {
-	in.heard()
-	in.noteFlow(p.flow)
-	b := p.payload
-	if in.active {
-		in.store(b)
-		if !in.ackSentAtStart {
-			// The process turned up while the byte was in flight.
-			in.sendAck()
-		}
-		return
-	}
-	// No process waiting: hold the byte in the single-byte buffer; the
-	// acknowledge is withheld until a process inputs it.
-	in.buffer = b
-	in.bufferValid = true
-	if in.armed != nil {
-		ready := in.armed
-		in.armed = nil
-		ready()
-	}
-}
-
-func (in *inHalf) store(b byte) {
-	in.write(in.received, b)
-	in.received++
-	if in.received == in.count {
-		in.active = false
-		done := in.done
-		in.done = nil
-		if done != nil {
-			done()
-		}
-	}
-}
-
-func (in *inHalf) sendAck() {
-	out := in.peerOut
-	in.ackWire.send(packet{
-		kind:    pktAck,
-		bits:    AckBits,
-		flow:    in.flow,
-		deliver: func(packet) { out.ackArrived() },
-	})
-}
-
-// SetStopAndWait switches this engine's receivers between the paper's
-// overlapped acknowledge (false, the default) and a plain
-// stop-and-wait handshake (true).
-func (e *Engine) SetStopAndWait(v bool) {
-	for _, in := range e.ins {
-		in.stopAndWait = v
-	}
-}
-
-// SetReliable switches every half of this engine into error-detecting
-// mode (CRC trailer, NAK, timeout retransmission with a bounded retry
-// budget) or back to the paper protocol.  Both ends of every wired link
-// must agree; set the mode before any traffic flows.  A zero timeout or
-// retry count selects the defaults.
-func (e *Engine) SetReliable(on bool, timeout sim.Time, maxRetries int) {
-	if timeout <= 0 {
-		timeout = DefaultRelTimeout
-	}
-	if maxRetries <= 0 {
-		maxRetries = DefaultRelRetries
-	}
-	for i := range e.outs {
-		e.outs[i].rel.on = on
-		e.outs[i].rel.timeout = timeout
-		e.outs[i].rel.maxRetries = maxRetries
-		e.ins[i].rel.on = on
-	}
-}
-
-// SetFaultHook installs (or with nil, removes) a fault-injection hook
-// on link i's outgoing signal line.
-func (e *Engine) SetFaultHook(i int, h FaultHook) {
-	if e.Connected(i) {
-		e.outs[i].wire.hook = h
-	}
-}
-
-// SeverLink cuts both signal lines of link i at the current instant:
-// nothing queued or in flight is delivered afterwards, exactly like a
-// cable pulled mid-run.  When the link crosses shards, the cut is
-// observed at the far end one propagation delay later: this end's
-// outgoing wire and inbound gate die now, the peer's die at now+prop —
-// a packet already in flight may still land before the cut reaches it.
-func (e *Engine) SeverLink(i int) {
-	if !e.Connected(i) {
-		return
-	}
-	w := e.outs[i].wire
-	if w.severed {
-		// Already cut (e.g. a halt's SeverAll after a sever of the same
-		// link, or both ends halting): the first cut killed both
-		// directions.  Going through the motions again would post
-		// across a coordinator wiring edge the first cut may have
-		// retired, into a peer shard that has since drifted ahead.
-		return
-	}
-	w.severed = true
-	peer := e.ins[i].peerOut
-	if w.post == nil {
-		if peer != nil && peer.wire != nil {
-			peer.wire.severed = true
-		}
-	} else {
-		// Inbound traffic stops being accepted here immediately; the
-		// peer's transmitter and its receive gate for our wire are cut
-		// when the break propagates.
-		if peer != nil && peer.wire != nil && peer.wire.rx != nil {
-			peer.wire.rx.severed = true
-		}
-		pw := peer
-		rx := w.rx
-		w.post(w.k.Now()+w.prop, func() {
-			if pw != nil && pw.wire != nil {
-				pw.wire.severed = true
-			}
-			rx.severed = true
-		})
-	}
-	if e.bus != nil {
-		e.emit(probe.Event{Kind: probe.LinkSever, Link: i})
-	}
-	if e.onSever != nil {
-		e.onSever(i)
-	}
-}
-
-// SeverAll cuts every connected link of the engine; used when a fault
-// campaign halts the whole node.
-func (e *Engine) SeverAll() {
-	for i := range e.outs {
-		e.SeverLink(i)
-	}
-}
-
-// LinkDown reports whether link i's sender exhausted its retry budget
-// in error-detecting mode, and how many retries it spent.
-func (e *Engine) LinkDown(i int) (down bool, retries int) {
-	if i < 0 || i >= core.NumLinks {
-		return false, 0
-	}
-	return e.outs[i].rel.failed, e.outs[i].rel.retries
-}
-
-// SendRaw transmits the given bytes down link l without involving the
-// machine: the routing layer drives link engines directly, from the
-// node's own shard.  The data is copied.  Returns false when the link
-// is unwired or its sender is already busy; done fires when the final
-// byte has been acknowledged.
-func (e *Engine) SendRaw(l int, data []byte, done func()) bool {
-	if l < 0 || l >= core.NumLinks || !e.Connected(l) {
-		return false
-	}
-	o := e.outs[l]
-	if o.active {
-		return false
-	}
-	if len(data) == 0 {
-		if done != nil {
-			done()
-		}
-		return true
-	}
-	buf := append([]byte(nil), data...)
-	o.start(func(i int) byte { return buf[i] }, len(buf), done)
-	return true
-}
-
-// RecvRaw receives n bytes from link l without involving the machine,
-// handing the filled buffer to done.  Returns false when the link is
-// unwired or its receiver is already busy.
-func (e *Engine) RecvRaw(l int, n int, done func([]byte)) bool {
-	if l < 0 || l >= core.NumLinks || !e.Connected(l) {
-		return false
-	}
-	in := e.ins[l]
-	if in.active {
-		return false
-	}
-	if n <= 0 {
-		if done != nil {
-			done(nil)
-		}
-		return true
-	}
-	buf := make([]byte, n)
-	in.start(func(i int, b byte) { buf[i] = b }, n, func() {
-		if done != nil {
-			done(buf)
-		}
-	})
-	return true
-}
-
-// ResyncLink aborts whatever transfer is in progress on link l in both
-// directions and resets the error-detecting sequence state to its
-// power-on values.  The routing layer performs this handshake on both
-// ends when a link comes back after an outage, so the two halves agree
-// on a fresh byte stream; bytes of the old stream are discarded.
-// Transfer completion callbacks of the aborted transfers never fire.
-func (e *Engine) ResyncLink(l int) {
-	if l < 0 || l >= core.NumLinks {
-		return
-	}
-	o := e.outs[l]
-	o.cancelRetryTimer()
-	o.active = false
-	o.done = nil
-	o.stalledAtStart = false
-	o.rel.failed = false
-	o.rel.retries = 0
-	o.rel.seq = 0
-	if o.wire != nil {
-		// Queued frames belong to the abandoned stream.
-		o.wire.data = nil
-		o.wire.acks = nil
-	}
-	in := e.ins[l]
-	in.active = false
-	in.done = nil
-	in.armed = nil
-	in.bufferValid = false
-	in.rel.expect = 0
-}
-
-// RecoverLink revives link l's sender after a freeze-restart outage
-// without losing the byte in flight.  It only applies in
-// error-detecting mode: the alternating sequence bit makes the
-// retransmission exactly-once whether the outage swallowed the
-// original byte or only its acknowledge.  Plain-mode transfers cannot
-// be recovered safely (no sequence bit to dedup a blind resend) and
-// stay stalled for the watchdog to report.
-func (e *Engine) RecoverLink(l int) {
-	if l < 0 || l >= core.NumLinks || !e.Connected(l) {
-		return
-	}
-	o := e.outs[l]
-	if !o.rel.on {
-		return
-	}
-	o.rel.failed = false
-	o.rel.retries = 0
-	if !o.active {
-		return
-	}
-	if o.stalledAtStart {
-		// The transfer never began; send its first byte now.
-		o.stalledAtStart = false
-		o.sendByte()
-		return
-	}
-	if !o.acked {
-		o.cancelRetryTimer()
-		o.sendReliable(o.rel.cur)
-	}
-}
-
-// RestoreLink reconnects both signal lines of link i, reversing
-// SeverLink with the same propagation discipline: this end's wire and
-// inbound gate revive now, the peer's revive one propagation later.
-// Only sound for links the network layer kept in the coordinator's
-// wiring matrix across the cut (see the restart fault rules).
-func (e *Engine) RestoreLink(i int) {
-	if !e.Connected(i) {
-		return
-	}
-	w := e.outs[i].wire
-	w.severed = false
-	peer := e.ins[i].peerOut
-	if w.post == nil {
-		if peer != nil && peer.wire != nil {
-			peer.wire.severed = false
-		}
-		return
-	}
-	if peer != nil && peer.wire != nil && peer.wire.rx != nil {
-		peer.wire.rx.severed = false
-	}
-	pw := peer
-	rx := w.rx
-	w.post(w.k.Now()+w.prop, func() {
-		if pw != nil && pw.wire != nil {
-			pw.wire.severed = false
-		}
-		rx.severed = false
-	})
-}
-
-// EnableInput arms alternative-input readiness signalling.
-func (e *Engine) EnableInput(link int, ready func()) bool {
-	in := e.ins[link]
-	if in.bufferValid {
-		return true
-	}
-	in.armed = ready
-	return false
-}
-
-// DisableInput disarms signalling and reports data availability.
-func (e *Engine) DisableInput(link int) bool {
-	in := e.ins[link]
-	in.armed = nil
-	return in.bufferValid
+	DataBytes   uint64
+	Retransmits uint64
+	Acks        uint64
+	Naks        uint64
+	Beats       uint64
+	BusyNs      int64
 }

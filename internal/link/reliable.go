@@ -83,8 +83,9 @@ type relReceiver struct {
 	expect byte // next sequence bit expected
 }
 
-// sendReliable queues the current byte with its trailer.
-func (o *outHalf) sendReliable(b byte) {
+// sendReliable queues the current byte with its trailer.  retrans
+// marks a resend, which the wire counts separately from goodput.
+func (o *outHalf) sendReliable(b byte, retrans bool) {
 	o.rel.cur = b
 	in := o.peer
 	o.wire.send(packet{
@@ -94,6 +95,7 @@ func (o *outHalf) sendReliable(b byte) {
 		seq:     o.rel.seq,
 		crc:     crc8(b, o.rel.seq),
 		flow:    o.flow,
+		retrans: retrans,
 		deliver: func(p packet) { in.relDataArrive(p) },
 		onTxEnd: func() { o.relTxEnd() },
 	})
@@ -145,7 +147,7 @@ func (o *outHalf) retransmit() {
 		o.eng.emit(probe.Event{Kind: probe.LinkRetransmit, Link: o.link,
 			Arg: int64(o.rel.retries), Flow: o.flow})
 	}
-	o.sendReliable(o.rel.cur)
+	o.sendReliable(o.rel.cur, true)
 }
 
 // relAckArrived handles an acknowledge carrying the given sequence bit.

@@ -88,6 +88,46 @@ func TestReliableCorruptionRecovered(t *testing.T) {
 	}
 }
 
+// TestRetransmitAccounting pins the wire's two data counters under an
+// injected corrupt-then-retry: DataBytes stays the goodput (every byte
+// counted once, on its first transmission) while Retransmits absorbs
+// the repair traffic, and together they account for every data packet
+// the wire carried.
+func TestRetransmitAccounting(t *testing.T) {
+	k, a, b := reliablePair(0, 0)
+	n := 0
+	a.out.wire.hook = func(isCtl bool) FaultAction {
+		if isCtl {
+			return FaultAction{}
+		}
+		n++
+		if n%10 == 0 {
+			return FaultAction{Corrupt: 0x08}
+		}
+		return FaultAction{}
+	}
+	msg := testMsg(100)
+	var got []byte
+	b.Recv(len(msg), func(d []byte) { got = d })
+	a.Send(msg, nil)
+	k.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("message corrupted despite error-detecting mode")
+	}
+	st := a.out.wire.stats
+	if st.DataBytes != uint64(len(msg)) {
+		t.Errorf("goodput = %d data bytes, want exactly %d (retransmissions must not inflate it)",
+			st.DataBytes, len(msg))
+	}
+	if st.Retransmits == 0 {
+		t.Error("corrupt-then-retry produced no retransmit count")
+	}
+	if st.DataBytes+st.Retransmits != uint64(n) {
+		t.Errorf("wire carried %d data packets but counters say %d goodput + %d retransmitted",
+			n, st.DataBytes, st.Retransmits)
+	}
+}
+
 // TestReliableDropRecovered: lost data and acknowledge packets are
 // recovered by timeout-paced retransmission.
 func TestReliableDropRecovered(t *testing.T) {

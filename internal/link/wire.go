@@ -1,0 +1,229 @@
+// Wire scheduler — the bottom layer of the protocol stack.
+//
+// A wire is one one-directional signal line: a serializer that clocks
+// frames out at bit rate, gives acknowledges priority over data (so a
+// long data stream in one direction cannot starve the acknowledges of
+// the reverse channel), consults the fault-injection hook once per
+// frame, and carries deliveries to the receiving end — synchronously
+// when both ends share a clock domain, through the coordinator mailbox
+// with propagation latency when they do not.  Everything above this
+// layer deals in whole packets; only this file knows about bit times,
+// fault actions and shard crossings.
+package link
+
+import (
+	"transputer/internal/probe"
+	"transputer/internal/sim"
+)
+
+// packetKind distinguishes the frames multiplexed down a signal line.
+type packetKind uint8
+
+const (
+	pktData packetKind = iota
+	pktAck
+	pktNak
+	pktBeat
+)
+
+// packet is one frame queued on a wire.  Sender-side callbacks
+// (onTxEnd) always fire — transmitting hardware cannot tell its bits
+// were lost — while receiver-side callbacks (deliverStart, deliver) are
+// skipped when a fault drops the packet or the wire is severed.
+type packet struct {
+	kind    packetKind
+	bits    int
+	payload byte   // data byte (pktData)
+	seq     byte   // sequence bit (error-detecting mode)
+	crc     byte   // check trailer (error-detecting mode)
+	flow    uint64 // probe flow identity carried across the wire; 0 untraced
+	retrans bool   // a resend of a byte already counted as goodput
+
+	onTxEnd      func()
+	deliverStart func()
+	deliver      func(p packet)
+}
+
+// FaultAction describes what an injected fault does to one packet.
+// The zero value leaves the packet untouched.
+type FaultAction struct {
+	// Drop loses the packet in transit: the sender still clocks the bits
+	// out, but the receiver never sees them.
+	Drop bool
+	// Corrupt is an XOR mask applied to a data packet's payload.
+	Corrupt byte
+	// Delay holds the wire for extra time before the bits go out.
+	Delay sim.Time
+}
+
+// FaultHook is consulted once per packet as it starts transmission on a
+// wire; isCtl reports a control packet (acknowledge or NAK) rather than
+// a data byte.  Hooks are installed by the fault-injection subsystem
+// and must be deterministic for a given call sequence.
+type FaultHook func(isCtl bool) FaultAction
+
+// rxGate is the receiver-side cut detector for a wire that crosses
+// shards: it is owned (read and written) by the receiving shard only,
+// so a sever can kill in-flight packets without touching sender state.
+type rxGate struct {
+	severed bool
+}
+
+// wire is a one-directional signal line.  A wire lives entirely in
+// the sending engine's clock domain; when the receiver is on another
+// shard, deliveries travel through post with prop latency instead of
+// running synchronously.
+type wire struct {
+	k     sim.Clock
+	bitNs int64
+	busy  bool
+	acks  []packet // pending acknowledges and naks (sent first)
+	data  []packet // pending data bytes
+	stats WireStats
+
+	// post and prop are set when the receiving end lives on another
+	// shard: receiver-side callbacks are posted through the coordinator
+	// mailbox with prop propagation delay (the coordinator's
+	// conservative lookahead).  rx is then the receiver-owned cut gate.
+	post func(at sim.Time, fn func())
+	prop sim.Time
+	rx   *rxGate
+
+	// hook, when non-nil, injects faults into this wire's traffic.
+	hook FaultHook
+	// severed marks a cut wire: nothing queued or in flight is ever
+	// delivered after the cut.
+	severed bool
+
+	// owner and link attribute this wire's traffic to the engine whose
+	// outgoing signal line it is, for probe events.  Wires driven by a
+	// host end have no owner and publish nothing.
+	owner *Engine
+	link  int
+}
+
+func (w *wire) send(p packet) {
+	if p.kind != pktData {
+		w.acks = append(w.acks, p)
+	} else {
+		w.data = append(w.data, p)
+	}
+	if !w.busy {
+		w.transmitNext()
+	}
+}
+
+// emit publishes a probe event attributed to this wire's owning engine,
+// if any.
+func (w *wire) emit(ev probe.Event) {
+	if w.owner != nil && w.owner.bus != nil {
+		ev.Link = w.link
+		w.owner.emit(ev)
+	}
+}
+
+func (w *wire) transmitNext() {
+	var p packet
+	switch {
+	case len(w.acks) > 0:
+		p = w.acks[0]
+		w.acks = w.acks[1:]
+	case len(w.data) > 0:
+		p = w.data[0]
+		w.data = w.data[1:]
+	default:
+		w.busy = false
+		return
+	}
+	w.busy = true
+	isCtl := p.kind != pktData
+	var act FaultAction
+	if w.hook != nil {
+		act = w.hook(isCtl)
+	}
+	dur := int64(p.bits)*w.bitNs + int64(act.Delay)
+	w.stats.BusyNs += dur
+	switch {
+	case p.kind == pktAck:
+		w.stats.Acks++
+	case p.kind == pktNak:
+		w.stats.Naks++
+	case p.kind == pktBeat:
+		w.stats.Beats++
+	case p.retrans:
+		w.stats.Retransmits++
+	default:
+		w.stats.DataBytes++
+	}
+	w.emit(probe.Event{Kind: probe.WirePacket,
+		Ack: isCtl, Bytes: boolByte(!isCtl), Dur: sim.Time(dur), Flow: p.flow})
+	if act.Delay > 0 {
+		w.emit(probe.Event{Kind: probe.FaultDelay, Ack: isCtl, Dur: act.Delay, Flow: p.flow})
+	}
+	if act.Corrupt != 0 && p.kind == pktData {
+		p.payload ^= act.Corrupt
+		w.emit(probe.Event{Kind: probe.FaultCorrupt, Arg: int64(act.Corrupt), Flow: p.flow})
+	}
+	dropped := act.Drop || w.severed
+	if act.Drop && !w.severed {
+		w.emit(probe.Event{Kind: probe.FaultDrop, Ack: isCtl, Flow: p.flow})
+	}
+	if w.post != nil {
+		// Cross-shard receiver: both callbacks travel through the
+		// mailbox, gated on the receiver-side cut flag (a cable cut is
+		// observed at the far end one propagation later; anything
+		// arriving after that is lost).  Packet completion keeps its
+		// exact wire timing — every frame lasts at least an
+		// acknowledge (2 bit times), which is precisely the
+		// coordinator's lookahead, so start+dur is always a legal
+		// cross-shard instant.  Only the reception-start signal (which
+		// fires the overlapped acknowledge) is deferred by the
+		// propagation delay.  Sender-side bookkeeping stays local.
+		start := w.k.Now()
+		rx := w.rx
+		if !dropped {
+			if ds := p.deliverStart; ds != nil {
+				w.post(start+w.prop, func() {
+					if !rx.severed {
+						ds()
+					}
+				})
+			}
+			if dv := p.deliver; dv != nil {
+				pp := p
+				w.post(start+sim.Time(dur), func() {
+					if !rx.severed {
+						dv(pp)
+					}
+				})
+			}
+		}
+		w.k.After(sim.Time(dur), func() {
+			if p.onTxEnd != nil {
+				p.onTxEnd()
+			}
+			w.transmitNext()
+		})
+		return
+	}
+	if !dropped && p.deliverStart != nil {
+		p.deliverStart()
+	}
+	w.k.After(sim.Time(dur), func() {
+		// A packet in flight when the wire is cut is lost too.
+		if !dropped && !w.severed && p.deliver != nil {
+			p.deliver(p)
+		}
+		if p.onTxEnd != nil {
+			p.onTxEnd()
+		}
+		w.transmitNext()
+	})
+}
+
+func boolByte(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -129,3 +129,59 @@ func TestSparseTrafficDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestVChanBlockCacheInvisible runs the virtual-channel fan — eight
+// producer streams multiplexed over one wire — across the worker ×
+// cache grid, capturing the full probe timeline.  Cross-shard chunk
+// deliveries here routinely land at the same instant as the
+// destination's own instruction stream, the collision that exposed
+// the barrier-dependent delivery ordering the kernel's delivery rank
+// now pins (see sim.Kernel's less).
+func TestVChanBlockCacheInvisible(t *testing.T) {
+	run := func(workers int, cache bool) (sim.Time, []probe.Event, []core.Stats) {
+		s, err := bench.VCFan(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		s.SetBlockCache(cache)
+		bus := probe.NewBus()
+		var evs []probe.Event
+		bus.Subscribe(func(e probe.Event) { evs = append(evs, e) })
+		s.AttachProbe(bus)
+		rep := s.Run(sim.Second)
+		if !rep.Settled || len(rep.Blocked) > 0 || len(rep.Halted) > 0 {
+			t.Fatalf("workers=%d cache=%v: bad finish: %+v", workers, cache, rep)
+		}
+		var stats []core.Stats
+		for _, n := range s.Nodes() {
+			stats = append(stats, n.M.Stats())
+		}
+		return rep.Time, evs, stats
+	}
+	tRef, evRef, stRef := run(1, true)
+	for _, workers := range []int{1, 4} {
+		for _, cache := range []bool{true, false} {
+			if workers == 1 && cache {
+				continue
+			}
+			tt, ev, st := run(workers, cache)
+			if tt != tRef {
+				t.Errorf("workers=%d cache=%v: settle time %v, want %v", workers, cache, tt, tRef)
+			}
+			if len(ev) != len(evRef) {
+				t.Fatalf("workers=%d cache=%v: timeline lengths differ: %d vs %d",
+					workers, cache, len(ev), len(evRef))
+			}
+			for i := range ev {
+				if ev[i] != evRef[i] {
+					t.Fatalf("workers=%d cache=%v: timeline event %d differs:\ngot:  %+v\nwant: %+v",
+						workers, cache, i, ev[i], evRef[i])
+				}
+			}
+			if !reflect.DeepEqual(st, stRef) {
+				t.Errorf("workers=%d cache=%v: per-node stats differ", workers, cache)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"transputer/internal/core"
 	"transputer/internal/fault"
+	"transputer/internal/link"
 	"transputer/internal/sim"
 )
 
@@ -43,6 +44,11 @@ import (
 //	heartbeat interval=20us timeout=100us
 //	route ttl=32
 //	message app gfx at=100us data=hello
+//
+// Virtual channels multiplex several logical channels over one
+// physical wire (naming either end of the connection is equivalent):
+//
+//	vchan app.1 count=8
 type Topology struct {
 	Transputers []TransputerSpec
 	Connections []Connection
@@ -63,6 +69,16 @@ type Topology struct {
 	Route RouteSpec
 	// Messages are end-to-end injections for routed topologies.
 	Messages []MessageSpec
+	// VChans multiplexes virtual channels over physical links.
+	VChans []VChanSpec
+}
+
+// VChanSpec multiplexes Count virtual channels over the physical link
+// at Node.Link (and, implicitly, its connected peer end).
+type VChanSpec struct {
+	Node  string
+	Link  int
+	Count int
 }
 
 // HeartbeatSpec configures the link liveness monitor; zero Interval or
@@ -131,6 +147,8 @@ func ParseTopology(src string) (*Topology, error) {
 	nodeLine := make(map[string]int)  // node name -> declaring line
 	wiredLine := make(map[string]int) // "node.link" -> wiring line
 	var faultLine []int               // line of each rule in topo.Faults
+	var vchanLine []int               // line of each spec in topo.VChans
+	heartbeatAt, routeAt := 0, 0      // lines of the singleton directives
 	// refs records node-name uses to validate after all declarations.
 	type ref struct {
 		name string
@@ -270,17 +288,44 @@ func ParseTopology(src string) (*Topology, error) {
 			topo.Faults = append(topo.Faults, rule)
 			faultLine = append(faultLine, no)
 		case "heartbeat":
+			if heartbeatAt != 0 {
+				return nil, fail("duplicate heartbeat directive (first at line %d)", heartbeatAt)
+			}
+			heartbeatAt = no
 			hb, err := parseHeartbeat(fields[1:])
 			if err != nil {
 				return nil, fail("%v", err)
 			}
 			topo.Heartbeat = hb
 		case "route":
+			if routeAt != 0 {
+				return nil, fail("duplicate route directive (first at line %d)", routeAt)
+			}
+			routeAt = no
 			rt, err := parseRoute(fields[1:])
 			if err != nil {
 				return nil, fail("%v", err)
 			}
 			topo.Route = rt
+		case "vchan":
+			if len(fields) != 3 {
+				return nil, fail("vchan needs a link end and count=N")
+			}
+			n, l, err := parseEnd(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			k, v, ok := strings.Cut(fields[2], "=")
+			if !ok || k != "count" {
+				return nil, fail("vchan needs count=N, got %q", fields[2])
+			}
+			cnt, err := strconv.Atoi(v)
+			if err != nil || cnt < 2 || cnt > link.MaxVChans {
+				return nil, fail("bad vchan count %q (want 2..%d)", v, link.MaxVChans)
+			}
+			refs = append(refs, ref{n, no})
+			topo.VChans = append(topo.VChans, VChanSpec{Node: n, Link: l, Count: cnt})
+			vchanLine = append(vchanLine, no)
 		case "message":
 			msg, err := parseMessage(fields[1:])
 			if err != nil {
@@ -298,6 +343,9 @@ func ParseTopology(src string) (*Topology, error) {
 		}
 	}
 	if err := validateFaults(topo, faultLine, wiredLine); err != nil {
+		return nil, err
+	}
+	if err := validateVChans(topo, vchanLine, faultLine, wiredLine); err != nil {
 		return nil, err
 	}
 	if topo.Route.Enabled {
@@ -376,6 +424,79 @@ func validateFaults(topo *Topology, faultLine []int, wiredLine map[string]int) e
 					}
 				}
 				severed[end] = no
+			}
+		}
+	}
+	return nil
+}
+
+// validateVChans cross-checks vchan directives against the wiring and
+// the fault plan.  A vchan end must belong to a transputer-to-
+// transputer connection (host links carry the boot protocol and cannot
+// be multiplexed), a physical wire may be multiplexed only once even
+// when named from its other end, and the fault plan may not touch a
+// multiplexed wire: the mux frames multi-byte units and a corrupted or
+// dropped header would desynchronise every logical channel at once, so
+// the combination is rejected when the file is read.
+func validateVChans(topo *Topology, vchanLine, faultLine []int, wiredLine map[string]int) error {
+	if len(topo.VChans) == 0 {
+		return nil
+	}
+	peerEnd := make(map[string]string)
+	for _, c := range topo.Connections {
+		a := fmt.Sprintf("%s.%d", c.A, c.ALink)
+		b := fmt.Sprintf("%s.%d", c.B, c.BLink)
+		peerEnd[a] = b
+		peerEnd[b] = a
+	}
+	muxed := make(map[string]int) // link end -> line of its vchan
+	for i, vc := range topo.VChans {
+		no := vchanLine[i]
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("topology line %d: %s", no, fmt.Sprintf(format, args...))
+		}
+		end := fmt.Sprintf("%s.%d", vc.Node, vc.Link)
+		peer, connected := peerEnd[end]
+		if !connected {
+			if _, wired := wiredLine[end]; wired {
+				return fail("vchan on host link end %s (vchans need a transputer-to-transputer connect)", end)
+			}
+			return fail("vchan targets unwired link end %s", end)
+		}
+		if prev, dup := muxed[end]; dup {
+			return fail("duplicate vchan on %s (first at line %d)", end, prev)
+		}
+		if prev, dup := muxed[peer]; dup {
+			return fail("vchan on %s multiplexes the same wire as %s at line %d", end, peer, prev)
+		}
+		muxed[end] = no
+	}
+	// adjacent records every node touching a multiplexed wire, so halt
+	// and restart rules can be refused along with wire-level faults.
+	adjacent := make(map[string]int)
+	for end, no := range muxed {
+		node, _, _ := strings.Cut(end, ".")
+		adjacent[node] = no
+		pnode, _, _ := strings.Cut(peerEnd[end], ".")
+		adjacent[pnode] = no
+	}
+	for i, r := range topo.Faults {
+		no := faultLine[i]
+		switch r.Kind {
+		case fault.Halt, fault.Restart:
+			if vl, ok := adjacent[r.Node]; ok {
+				return fmt.Errorf("topology line %d: fault %s of %q touches a multiplexed link (vchan at line %d)", no, r.Kind, r.Node, vl)
+			}
+		default:
+			end := fmt.Sprintf("%s.%d", r.Node, r.Link)
+			prev, dup := muxed[end]
+			if !dup {
+				if pe, ok := peerEnd[end]; ok {
+					prev, dup = muxed[pe]
+				}
+			}
+			if dup {
+				return fmt.Errorf("topology line %d: fault %s targets multiplexed link end %s (vchan at line %d)", no, r.Kind, end, prev)
 			}
 		}
 	}

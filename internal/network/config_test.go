@@ -251,6 +251,84 @@ func TestParseSelfHealingErrors(t *testing.T) {
 	}
 }
 
+// TestParseVChan covers the vchan directive and its cross-checks.
+func TestParseVChan(t *testing.T) {
+	base := "transputer a t424\ntransputer b t424\nconnect a.1 b.2\nhost a.0\n"
+	topo, err := ParseTopology(base + "vchan a.1 count=8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.VChans) != 1 {
+		t.Fatalf("vchans = %+v", topo.VChans)
+	}
+	vc := topo.VChans[0]
+	if vc.Node != "a" || vc.Link != 1 || vc.Count != 8 {
+		t.Errorf("vchan spec = %+v", vc)
+	}
+	cases := []struct {
+		src  string
+		want []string // substrings the error must carry
+	}{
+		{base + "vchan a.1", []string{"line 5", "count=N"}},
+		{base + "vchan a.1 width=8", []string{"line 5", "count=N"}},
+		{base + "vchan a.1 count=1", []string{"line 5", "bad vchan count"}},
+		{base + "vchan a.1 count=33", []string{"line 5", "bad vchan count"}},
+		{base + "vchan a.9 count=8", []string{"line 5", "out of range"}},
+		{base + "vchan ghost.1 count=8", []string{"line 5", "unknown transputer"}},
+		{base + "vchan a.2 count=8", []string{"line 5", "unwired link end a.2"}},
+		{base + "vchan a.0 count=8", []string{"line 5", "host link end a.0"}},
+		{base + "vchan a.1 count=8\nvchan a.1 count=4",
+			[]string{"line 6", "duplicate vchan", "line 5"}},
+		{base + "vchan a.1 count=8\nvchan b.2 count=4",
+			[]string{"line 6", "same wire", "line 5"}},
+		{base + "vchan a.1 count=8\nfault drop a.1 rate=0.5",
+			[]string{"line 6", "multiplexed link end a.1", "line 5"}},
+		{base + "vchan a.1 count=8\nfault corrupt b.2 rate=0.5",
+			[]string{"line 6", "multiplexed link end b.2", "line 5"}},
+		{base + "vchan a.1 count=8\nfault halt b at=1ms",
+			[]string{"line 6", "multiplexed link", "line 5"}},
+	}
+	for _, c := range cases {
+		_, err := ParseTopology(c.src)
+		if err == nil {
+			t.Errorf("ParseTopology(%q) should fail", c.src)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("error %q for %q should mention %q", err, c.src, w)
+			}
+		}
+	}
+}
+
+// TestParseDuplicateDirectives: a topology may configure heartbeat and
+// route at most once; a silent last-writer-wins overwrite was how a
+// campaign ran with the wrong timeout and nobody noticed.
+func TestParseDuplicateDirectives(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"heartbeat interval=20us\nheartbeat interval=50us",
+			[]string{"line 2", "duplicate heartbeat", "line 1"}},
+		{"transputer x t424\nlinkmode reliable\nheartbeat\nroute\nroute ttl=4",
+			[]string{"line 5", "duplicate route", "line 4"}},
+	}
+	for _, c := range cases {
+		_, err := ParseTopology(c.src)
+		if err == nil {
+			t.Errorf("ParseTopology(%q) should fail", c.src)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("error %q for %q should mention %q", err, c.src, w)
+			}
+		}
+	}
+}
+
 // TestParseFaultValidation: the script is cross-checked against the
 // wiring when the file is read, and every rejection names its line.
 func TestParseFaultValidation(t *testing.T) {

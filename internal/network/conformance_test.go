@@ -1,0 +1,130 @@
+package network_test
+
+import (
+	"bytes"
+	"testing"
+
+	"transputer/internal/core"
+	"transputer/internal/network"
+	"transputer/internal/sim"
+)
+
+// Conformance across the protocol stack's configurations: the same
+// transfer scenario — one node streams a known message to its peer
+// over one wire — must deliver byte-identical data through the raw
+// protocol, the stop-and-wait ablation, the error-detecting mode, and
+// a virtual-channel multiplexed link; and every configuration must be
+// deterministic across worker counts, completion instant included.
+
+type xferOutcome struct {
+	got  []byte
+	done sim.Time
+}
+
+// stackPair builds a two-node system wired a.0 <-> b.1.
+func stackPair(t *testing.T, workers int, reliable bool) (*network.System, *network.Node, *network.Node) {
+	t.Helper()
+	s := network.NewSystem()
+	if workers > 0 {
+		s.SetWorkers(workers)
+	}
+	c := core.T424().WithMemory(64 * 1024)
+	a := s.MustAddTransputer("a", c)
+	b := s.MustAddTransputer("b", c)
+	s.MustConnect(a, 0, b, 1)
+	if reliable {
+		s.SetLinkMode(network.LinkMode{Reliable: true})
+	}
+	return s, a, b
+}
+
+// transferRaw streams the payload as one raw byte stream.
+func transferRaw(t *testing.T, workers int, payload []byte, stopwait, reliable bool) xferOutcome {
+	t.Helper()
+	s, a, b := stackPair(t, workers, reliable)
+	if stopwait {
+		a.Engine.SetStopAndWait(true)
+		b.Engine.SetStopAndWait(true)
+	}
+	var out xferOutcome
+	b.Clock().Schedule(sim.Microsecond, func() {
+		b.Engine.RecvRaw(1, len(payload), func(d []byte) {
+			out.got = d
+			out.done = b.Clock().Now()
+		})
+	})
+	a.Clock().Schedule(2*sim.Microsecond, func() {
+		a.Engine.SendRaw(0, payload, nil)
+	})
+	s.Run(0)
+	return out
+}
+
+// transferVC streams the payload as n equal strips, one per virtual
+// channel, reassembled by vchan index at the receiver.
+func transferVC(t *testing.T, workers int, payload []byte, n int) xferOutcome {
+	t.Helper()
+	s, a, b := stackPair(t, workers, false)
+	if err := s.EnableVChans(a, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	strip := len(payload) / n
+	got := make([]byte, len(payload))
+	var out xferOutcome
+	left := n
+	b.Clock().Schedule(sim.Microsecond, func() {
+		for vc := 0; vc < n; vc++ {
+			vc := vc
+			b.Engine.RecvVC(1, vc, strip, func(d []byte) {
+				copy(got[vc*strip:], d)
+				left--
+				if left == 0 {
+					out.got = got
+					out.done = b.Clock().Now()
+				}
+			})
+		}
+	})
+	a.Clock().Schedule(2*sim.Microsecond, func() {
+		for vc := 0; vc < n; vc++ {
+			a.Engine.SendVC(0, vc, payload[vc*strip:(vc+1)*strip], nil)
+		}
+	})
+	s.Run(0)
+	return out
+}
+
+// TestProtocolStackConformance is the table: every configuration
+// delivers the identical bytes, at an instant independent of the
+// worker count.
+func TestProtocolStackConformance(t *testing.T) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i*13 + 7)
+	}
+	configs := []struct {
+		name string
+		run  func(workers int) xferOutcome
+	}{
+		{"raw", func(w int) xferOutcome { return transferRaw(t, w, payload, false, false) }},
+		{"stopwait", func(w int) xferOutcome { return transferRaw(t, w, payload, true, false) }},
+		{"reliable", func(w int) xferOutcome { return transferRaw(t, w, payload, false, true) }},
+		{"vchan8", func(w int) xferOutcome { return transferVC(t, w, payload, 8) }},
+	}
+	for _, c := range configs {
+		t.Run(c.name, func(t *testing.T) {
+			one := c.run(1)
+			four := c.run(4)
+			if !bytes.Equal(one.got, payload) {
+				t.Fatalf("delivered %d bytes differ from the sent message", len(one.got))
+			}
+			if one.done == 0 {
+				t.Fatal("transfer never completed")
+			}
+			if !bytes.Equal(one.got, four.got) || one.done != four.done {
+				t.Fatalf("worker count changed the outcome: 1 worker (%d bytes at %v) vs 4 workers (%d bytes at %v)",
+					len(one.got), one.done, len(four.got), four.done)
+			}
+		})
+	}
+}

@@ -397,6 +397,30 @@ func (s *System) notifyUp(n *Node) {
 	}
 }
 
+// EnableVChans multiplexes count virtual channels over the physical
+// wire at link l of the node.  Both ends of the connection get a mux
+// (the framing is symmetric, so naming either end is equivalent), and
+// both machines get the convention channel words mapped so occam
+// programs reach the logical channels through the LINKnVCmOUT/IN
+// addresses (see core.MapVChan).  The link must already be connected
+// to another transputer; host links cannot be multiplexed.
+func (s *System) EnableVChans(n *Node, l, count int) error {
+	peer, pl, ok := n.Peer(l)
+	if !ok {
+		return fmt.Errorf("network: %s link %d is not connected to a transputer", n.Name, l)
+	}
+	n.Engine.EnableVChans(l, count)
+	peer.Engine.EnableVChans(pl, count)
+	count = n.Engine.VChans(l) // after clamping
+	for vc := 0; vc < count; vc++ {
+		n.M.MapVChan(n.M.VChanOutAddr(l, vc), l, vc, true)
+		n.M.MapVChan(n.M.VChanInAddr(l, vc), l, vc, false)
+		peer.M.MapVChan(peer.M.VChanOutAddr(pl, vc), pl, vc, true)
+		peer.M.MapVChan(peer.M.VChanInAddr(pl, vc), pl, vc, false)
+	}
+	return nil
+}
+
 // MustConnect is Connect that panics on bad topology.
 func (s *System) MustConnect(a *Node, la int, b *Node, lb int) {
 	if err := s.Connect(a, la, b, lb); err != nil {

@@ -188,6 +188,20 @@ func (c *checker) builtinScope() *scope {
 	def("EVENT", mostneg+8*bpw)
 	def("MOSTNEG", mostneg)
 	def("MOSTPOS", (int64(1)<<(bits-1))-1)
+	// Virtual-channel words: PLACE a channel at LINK<l>VC<v>OUT/IN to
+	// speak on virtual channel v of a multiplexed link l.  The block
+	// sits at the most positive addresses (mirroring core's
+	// VChanOutAddr/VChanInAddr), far above any realistic memory size;
+	// like the link words, the addresses are pure names and are never
+	// dereferenced.
+	const maxVC = 32 // core.VChanMax
+	vcbase := (int64(1) << (bits - 1)) - 4*maxVC*2*bpw
+	for l := int64(0); l < 4; l++ {
+		for v := int64(0); v < maxVC; v++ {
+			def(fmt.Sprintf("LINK%dVC%dOUT", l, v), vcbase+(l*maxVC+v)*bpw)
+			def(fmt.Sprintf("LINK%dVC%dIN", l, v), vcbase+((4+l)*maxVC+v)*bpw)
+		}
+	}
 	return s
 }
 

@@ -49,6 +49,7 @@ type flowRec struct {
 	isChan bool
 	addr   uint64 // channel word (chan flows)
 	link   int    // sender's link index (link flows)
+	vc     int    // virtual channel on that link; -1 when unmultiplexed
 	src    string // sender node
 	dst    string // receiver node; "" when the far end is a host
 	bytes  int
@@ -89,7 +90,7 @@ func (t *FlowTable) consume(e Event) {
 	}
 	r, ok := t.byID[e.Flow]
 	if !ok {
-		r = &flowRec{id: e.Flow, start: e.Time, startNode: e.Node, link: -1}
+		r = &flowRec{id: e.Flow, start: e.Time, startNode: e.Node, link: -1, vc: -1}
 		t.byID[e.Flow] = r
 		t.order = append(t.order, r)
 	}
@@ -163,6 +164,17 @@ func (t *FlowTable) consume(e Event) {
 		r.corrupts++
 	case LinkDown:
 		r.down = true
+	case VChanChunk:
+		// Attribute the flow to the logical channel, not just the wire:
+		// the chunk's sender knows both the link and the vchan.
+		if r.src == "" {
+			r.src = e.Node
+		}
+		r.link = e.Link
+		r.vc = int(e.Arg)
+	case VChanDeliver:
+		r.dst = e.Node
+		r.bytes = e.Bytes
 	}
 }
 
@@ -250,6 +262,9 @@ func (r *flowRec) key() string {
 	dst := r.dst
 	if dst == "" {
 		dst = "ext"
+	}
+	if r.vc >= 0 {
+		return fmt.Sprintf("%s.L%d.v%d>%s", r.src, r.link, r.vc, dst)
 	}
 	return fmt.Sprintf("%s.L%d>%s", r.src, r.link, dst)
 }

@@ -53,6 +53,9 @@ func TestKindExhaustive(t *testing.T) {
 		NodeRestart:    {Event{}, "node.restart", "i"},
 		RouteReplay:    {Event{Arg: 2}, "route.replay", "i"},
 		RouteDeliver:   {Event{Arg: 3, Bytes: 16}, "route.deliver", "i"},
+		VChanChunk:     {Event{Link: 1, Arg: 5, Bytes: 16, Flow: flowLink}, "vc5.chunk", "i"},
+		VChanCredit:    {Event{Link: 1, Arg: 5, Bytes: 16}, "vc5.credit", "i"},
+		VChanDeliver:   {Event{Link: 1, Arg: 5, Bytes: 64, Flow: flowLink}, "vc5.deliver", "i"},
 	}
 
 	b := NewBus()

@@ -118,6 +118,19 @@ const (
 	// and was handed to the application in order; Arg is the message
 	// sequence number, Bytes the payload length.
 	RouteDeliver
+	// VChanChunk: the virtual-channel multiplexer put one data chunk on
+	// a link's wire.  Link is the link index, Arg the virtual channel,
+	// Bytes the chunk payload length, Flow the message's flow identity.
+	VChanChunk
+	// VChanCredit: the multiplexer granted flow-control credit back to
+	// the peer's sender.  Link is the link index, Arg the virtual
+	// channel, Bytes the credit granted.
+	VChanCredit
+	// VChanDeliver: a complete message was handed to a virtual
+	// channel's consumer.  Link is the link index, Arg the virtual
+	// channel, Bytes the message length, Flow the flow identity carried
+	// by its chunks.
+	VChanDeliver
 
 	numKinds
 )
@@ -153,6 +166,9 @@ var kindNames = [numKinds]string{
 	NodeRestart:    "node.restart",
 	RouteReplay:    "route.replay",
 	RouteDeliver:   "route.deliver",
+	VChanChunk:     "vchan.chunk",
+	VChanCredit:    "vchan.credit",
+	VChanDeliver:   "vchan.deliver",
 }
 
 // String returns the event kind's dotted name.

@@ -298,6 +298,24 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 				Pid: p, Tid: tidSched, Cat: "route", S: "t",
 				Args: map[string]interface{}{"seq": e.Arg, "bytes": e.Bytes},
 			})
+		case VChanChunk:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("vc%d.chunk", e.Arg), Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "vchan", S: "t",
+				Args: map[string]interface{}{"vchan": e.Arg, "bytes": e.Bytes, "flow": hex(e.Flow)},
+			})
+		case VChanCredit:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("vc%d.credit", e.Arg), Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "vchan", S: "t",
+				Args: map[string]interface{}{"vchan": e.Arg, "bytes": e.Bytes},
+			})
+		case VChanDeliver:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("vc%d.deliver", e.Arg), Ph: "i", Ts: usec(e.Time),
+				Pid: p, Tid: tidWireBase + e.Link, Cat: "vchan", S: "t",
+				Args: map[string]interface{}{"vchan": e.Arg, "bytes": e.Bytes, "flow": hex(e.Flow)},
+			})
 		}
 	}
 	// Close any slice still open at the end of the run.

@@ -126,17 +126,26 @@ type oooKey struct {
 	seq    uint32
 }
 
+// sendSlot is one unit of send concurrency on a link: the whole wire
+// for plain links (vc -1), or one virtual channel of a multiplexed
+// link.  A frame in a slot is "in custody" until the engine confirms
+// its final byte, watched by the slot's hop timer.
+type sendSlot struct {
+	vc       int // -1: SendRaw on the whole link; >=0: SendVC on this vchan
+	inFlight *frame
+	sending  bool
+	hopTimer sim.EventID
+	hopArmed bool
+	hopWait  sim.Time
+}
+
 // linkState is the dynamic router state of one link end.  Touched only
 // from the owning node's shard.
 type linkState struct {
 	routable  bool // HELLO handshake complete; data may be routed here
 	helloSent bool // greeting sent since the last down transition
 	queue     []frame
-	inFlight  *frame
-	sending   bool
-	hopTimer  sim.EventID
-	hopArmed  bool
-	hopWait   sim.Time
+	slots     []sendSlot
 }
 
 // rnode is the router's per-node state.
@@ -182,8 +191,11 @@ type Router struct {
 // Attach builds a router over every node of the system.  The system
 // must be in error-detecting link mode with heartbeats configured —
 // the router's streams and failure detection are built on both — and
-// fully wired: call Attach after the topology is connected and before
-// Run.
+// fully wired: call Attach after the topology is connected (including
+// any System.EnableVChans) and before Run.  On a multiplexed link the
+// router runs one send slot and one receive pump per virtual channel,
+// so frames to different destinations stream concurrently over the
+// shared wire instead of queueing behind each other.
 func Attach(s *network.System, cfg Config) (*Router, error) {
 	if !s.LinkMode().Reliable {
 		return nil, fmt.Errorf("route: router requires the error-detecting link mode")
@@ -251,6 +263,7 @@ func Attach(s *network.System, cfg Config) (*Router, error) {
 		nd.recompute()
 		for l := 0; l < core.NumLinks; l++ {
 			if r.adj[nd.ord][l].wired {
+				nd.initSlots(l)
 				nd.armRecv(l)
 			}
 		}
@@ -371,38 +384,72 @@ func (nd *rnode) enqueue(l int, f frame) {
 	nd.trySend(l)
 }
 
-// trySend starts transmitting the head of link l's queue, taking
-// custody of the frame until the link engine confirms its final byte
+// initSlots lays out link l's send concurrency: one slot per virtual
+// channel on a multiplexed link, a single whole-wire slot otherwise.
+// Frames of one link may then complete out of order across vchans;
+// the destination's sequence window absorbs the reordering, exactly as
+// it absorbs reroute duplicates.
+func (nd *rnode) initSlots(l int) {
+	ls := &nd.links[l]
+	if n := nd.nn.Engine.VChans(l); n > 0 {
+		ls.slots = make([]sendSlot, n)
+		for vc := range ls.slots {
+			ls.slots[vc].vc = vc
+		}
+	} else {
+		ls.slots = []sendSlot{{vc: -1}}
+	}
+}
+
+// trySend fills every free send slot of link l from its queue, taking
+// custody of each frame until the link engine confirms its final byte
 // was acknowledged.
 func (nd *rnode) trySend(l int) {
 	ls := &nd.links[l]
-	if ls.sending || len(ls.queue) == 0 {
-		return
+	for si := range ls.slots {
+		if len(ls.queue) == 0 {
+			return
+		}
+		if !ls.slots[si].sending {
+			nd.sendOn(l, si)
+		}
 	}
+}
+
+// sendOn starts transmitting the head of link l's queue on slot si.
+func (nd *rnode) sendOn(l, si int) {
+	ls := &nd.links[l]
+	sl := &ls.slots[si]
 	f := ls.queue[0]
 	ls.queue = ls.queue[1:]
 	hold := f
-	ls.inFlight = &hold
-	ls.sending = true
-	ls.hopWait = nd.r.cfg.HopTimeout
-	nd.armHop(l)
+	sl.inFlight = &hold
+	sl.sending = true
+	sl.hopWait = nd.r.cfg.HopTimeout
+	nd.armHop(l, si)
 	gen := nd.gen
-	ok := nd.nn.Engine.SendRaw(l, f.encode(), func() {
+	done := func() {
 		if nd.gen != gen {
 			return
 		}
-		nd.cancelHop(l)
-		ls.sending = false
-		ls.inFlight = nil
+		nd.cancelHop(l, si)
+		sl.sending = false
+		sl.inFlight = nil
 		nd.trySend(l)
-	})
+	}
+	var ok bool
+	if sl.vc >= 0 {
+		ok = nd.nn.Engine.SendVC(l, sl.vc, f.encode(), done)
+	} else {
+		ok = nd.nn.Engine.SendRaw(l, f.encode(), done)
+	}
 	if !ok {
 		// The engine's sender is busy with a transfer the router does
 		// not own — should not happen, but never wedge: back off and
 		// retry.
-		nd.cancelHop(l)
-		ls.sending = false
-		ls.inFlight = nil
+		nd.cancelHop(l, si)
+		sl.sending = false
+		sl.inFlight = nil
 		ls.queue = append([]frame{f}, ls.queue...)
 		nd.clock().After(nd.r.cfg.HopTimeout/4, func() {
 			if nd.gen == gen {
@@ -412,24 +459,31 @@ func (nd *rnode) trySend(l int) {
 	}
 }
 
-func (nd *rnode) armHop(l int) {
-	ls := &nd.links[l]
+func (nd *rnode) armHop(l, si int) {
+	sl := &nd.links[l].slots[si]
 	gen := nd.gen
-	ls.hopArmed = true
-	ls.hopTimer = nd.clock().After(ls.hopWait, func() {
-		ls.hopArmed = false
+	sl.hopArmed = true
+	sl.hopTimer = nd.clock().After(sl.hopWait, func() {
+		sl.hopArmed = false
 		if nd.gen != gen {
 			return
 		}
-		nd.hopTimeout(l)
+		nd.hopTimeout(l, si)
 	})
 }
 
-func (nd *rnode) cancelHop(l int) {
-	ls := &nd.links[l]
-	if ls.hopArmed {
-		nd.clock().Cancel(ls.hopTimer)
-		ls.hopArmed = false
+func (nd *rnode) cancelHop(l, si int) {
+	sl := &nd.links[l].slots[si]
+	if sl.hopArmed {
+		nd.clock().Cancel(sl.hopTimer)
+		sl.hopArmed = false
+	}
+}
+
+// cancelHops cancels every slot's custody timer on link l.
+func (nd *rnode) cancelHops(l int) {
+	for si := range nd.links[l].slots {
+		nd.cancelHop(l, si)
 	}
 }
 
@@ -438,25 +492,25 @@ func (nd *rnode) cancelHop(l int) {
 // rerouted; a merely slow link gets its custody timer backed off, and
 // the frame is duplicated onto the current best route if the table has
 // moved away (the destination's sequence window absorbs duplicates).
-func (nd *rnode) hopTimeout(l int) {
-	ls := &nd.links[l]
-	if !ls.sending || ls.inFlight == nil {
+func (nd *rnode) hopTimeout(l, si int) {
+	sl := &nd.links[l].slots[si]
+	if !sl.sending || sl.inFlight == nil {
 		return
 	}
 	if down, _ := nd.nn.Engine.LinkDown(l); down {
 		nd.linkDown(l)
 		return
 	}
-	f := *ls.inFlight
+	f := *sl.inFlight
 	if f.kind == fData || f.kind == fE2EAck {
 		if alt := nd.nextHop[int(f.dest)]; alt >= 0 && alt != l && nd.links[alt].routable {
 			nd.enqueue(alt, f)
 		}
 	}
-	if ls.hopWait < 8*nd.r.cfg.HopTimeout {
-		ls.hopWait *= 2
+	if sl.hopWait < 8*nd.r.cfg.HopTimeout {
+		sl.hopWait *= 2
 	}
-	nd.armHop(l)
+	nd.armHop(l, si)
 }
 
 // linkDown tears down this end of link l: abort and reset the byte
@@ -469,15 +523,19 @@ func (nd *rnode) linkDown(l int) {
 		return
 	}
 	ls := &nd.links[l]
-	nd.cancelHop(l)
+	nd.cancelHops(l)
 	nd.nn.Engine.ResyncLink(l)
-	nd.armRecv(l) // the resync aborted the receive pump; restart it
+	nd.armRecv(l) // the resync aborted the receive pumps; restart them
 	var orphans []frame
-	if ls.inFlight != nil {
-		orphans = append(orphans, *ls.inFlight)
+	for si := range ls.slots {
+		if sl := &ls.slots[si]; sl.inFlight != nil {
+			orphans = append(orphans, *sl.inFlight)
+		}
+		ls.slots[si].inFlight = nil
+		ls.slots[si].sending = false
 	}
 	orphans = append(orphans, ls.queue...)
-	ls.queue, ls.inFlight, ls.sending = nil, nil, false
+	ls.queue = nil
 	ls.helloSent = false
 	if ls.routable {
 		ls.routable = false
@@ -651,11 +709,19 @@ func (nd *rnode) recompute() {
 	}
 }
 
-// armRecv (re)starts the receive pump on link l: read a header, then
+// armRecv (re)starts the receive pumps on link l: read a header, then
 // the payload, dispatch, repeat.  A frame that fails validation is
 // dropped; the pump realigns at the next header boundary, and the
-// end-to-end replay layer absorbs whatever was lost.
+// end-to-end replay layer absorbs whatever was lost.  A multiplexed
+// link runs one such pump per virtual channel — each vchan carries an
+// independent frame stream.
 func (nd *rnode) armRecv(l int) {
+	if n := nd.nn.Engine.VChans(l); n > 0 {
+		for vc := 0; vc < n; vc++ {
+			nd.armRecvVC(l, vc)
+		}
+		return
+	}
 	gen := nd.gen
 	nd.nn.Engine.RecvRaw(l, headerLen, func(hdr []byte) {
 		if nd.gen != gen {
@@ -681,6 +747,38 @@ func (nd *rnode) armRecv(l int) {
 			nd.handleFrame(l, f)
 			if nd.gen == gen {
 				nd.armRecv(l)
+			}
+		})
+	})
+}
+
+// armRecvVC is armRecv's per-vchan pump on a multiplexed link.
+func (nd *rnode) armRecvVC(l, vc int) {
+	gen := nd.gen
+	nd.nn.Engine.RecvVC(l, vc, headerLen, func(hdr []byte) {
+		if nd.gen != gen {
+			return
+		}
+		f, plen, err := parseHeader(hdr, len(nd.r.nodes))
+		if err != nil {
+			nd.armRecvVC(l, vc)
+			return
+		}
+		if plen == 0 {
+			nd.handleFrame(l, f)
+			if nd.gen == gen {
+				nd.armRecvVC(l, vc)
+			}
+			return
+		}
+		nd.nn.Engine.RecvVC(l, vc, plen, func(payload []byte) {
+			if nd.gen != gen {
+				return
+			}
+			f.payload = payload
+			nd.handleFrame(l, f)
+			if nd.gen == gen {
+				nd.armRecvVC(l, vc)
 			}
 		})
 	})
@@ -764,7 +862,7 @@ func (nd *rnode) crash() {
 	nd.gen++
 	nd.alive = false
 	for l := range nd.links {
-		nd.cancelHop(l)
+		nd.cancelHops(l)
 		nd.links[l] = linkState{}
 	}
 	for _, k := range nd.sortedPending() {
@@ -801,6 +899,7 @@ func (nd *rnode) boot() {
 		}
 		nd.nn.Engine.ResyncLink(l)
 		nd.links[l] = linkState{}
+		nd.initSlots(l)
 		nd.armRecv(l)
 	}
 	nd.recompute()

@@ -301,6 +301,72 @@ func TestRouterUnsurvivablePartition(t *testing.T) {
 	}
 }
 
+// TestRouterOverVChans: routed frames ride virtual channels when a
+// link is multiplexed — eight concurrent streams share one physical
+// wire, delivery stays exactly-once and in order, and the outcome is
+// byte-identical at any worker count.
+func TestRouterOverVChans(t *testing.T) {
+	outcome := func(workers int) []route.Delivery {
+		s := network.NewSystem()
+		if workers > 0 {
+			s.SetWorkers(workers)
+		}
+		a := s.MustAddTransputer("a", cfg())
+		b := s.MustAddTransputer("b", cfg())
+		c := s.MustAddTransputer("c", cfg())
+		s.MustConnect(a, 0, b, 1)
+		s.MustConnect(b, 0, c, 1)
+		s.SetLinkMode(network.LinkMode{Reliable: true})
+		s.SetHeartbeat(0, 0)
+		// The a<->b wire carries every stream below; multiplex it.
+		if err := s.EnableVChans(a, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		r, err := route.Attach(s, route.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int
+		k := 0
+		for _, pair := range [][2]string{{"a", "b"}, {"b", "a"}, {"a", "c"}, {"c", "a"}} {
+			for i := 0; i < 6; i++ {
+				at := sim.Time(20+5*k) * sim.Microsecond
+				k++
+				if _, err := r.SendAt(at, pair[0], pair[1],
+					[]byte(fmt.Sprintf("%s->%s #%d", pair[0], pair[1], i))); err != nil {
+					t.Fatal(err)
+				}
+				want++
+			}
+		}
+		drain(t, s, r, 6*sim.Millisecond)
+		if got := len(r.AllDeliveries()); got != want {
+			t.Fatalf("delivered %d messages, want %d (undelivered %d)", got, want, r.Undelivered())
+		}
+		checkExactlyOnce(t, r)
+		ms, ok := a.Engine.VChanStats(0)
+		if !ok || ms.Chunks == 0 {
+			t.Fatalf("the multiplexed wire carried no chunks: %+v ok=%v", ms, ok)
+		}
+		if rep := s.Watchdog(); rep != nil {
+			t.Fatalf("watchdog not clean:\n%s", rep)
+		}
+		return r.AllDeliveries()
+	}
+	one := outcome(1)
+	four := outcome(4)
+	if len(one) != len(four) {
+		t.Fatalf("worker count changed delivery count: %d vs %d", len(one), len(four))
+	}
+	for i := range one {
+		x, y := one[i], four[i]
+		if x.Origin != y.Origin || x.Dest != y.Dest || x.Seq != y.Seq ||
+			x.At != y.At || string(x.Payload) != string(y.Payload) {
+			t.Fatalf("delivery %d differs between 1 and 4 workers:\n  %+v\n  %+v", i, x, y)
+		}
+	}
+}
+
 // TestRouterDeterminism requires byte-identical outcomes at one worker
 // and four across a fault-heavy run — the cornerstone invariant of the
 // whole simulator, now extended over heartbeats, reroutes and

@@ -54,10 +54,11 @@ type Clock interface {
 }
 
 type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for events at the same instant
-	id  EventID
-	fn  func()
+	at   Time
+	rank uint8  // same-instant class: deliveries (0) before local events (1)
+	seq  uint64 // tie-break within a rank: FIFO for locals, (src, xseq) for deliveries
+	id   EventID
+	fn   func()
 }
 
 // Kernel is a time-ordered event queue.  It is not safe for concurrent
@@ -181,8 +182,26 @@ func (k *Kernel) Schedule(at Time, fn func()) EventID {
 	}
 	id := k.nextID
 	k.nextID++
-	k.push(event{at: at, seq: k.nextSeq, id: id, fn: fn})
+	k.push(event{at: at, rank: 1, seq: k.nextSeq, id: id, fn: fn})
 	k.nextSeq++
+	k.pending[id] = true
+	k.live++
+	k.stamp++
+	return id
+}
+
+// ScheduleDelivery schedules a cross-shard delivery: it runs before
+// any same-instant local event, ordered among same-instant deliveries
+// by key — the coordinator packs the source shard and its per-source
+// sequence, a total order independent of which window barrier did the
+// injecting (see less).
+func (k *Kernel) ScheduleDelivery(at Time, key uint64, fn func()) EventID {
+	if at < k.now+k.offset {
+		panic(fmt.Sprintf("sim: delivery at %v before now %v", at, k.now+k.offset))
+	}
+	id := k.nextID
+	k.nextID++
+	k.push(event{at: at, rank: 0, seq: key, id: id, fn: fn})
 	k.pending[id] = true
 	k.live++
 	k.stamp++
@@ -292,10 +311,20 @@ func (k *Kernel) peek() (event, bool) {
 	return event{}, false
 }
 
-// less orders by time then scheduling sequence.
+// less orders by time, then rank, then sequence.  The rank makes the
+// position of a cross-shard delivery among same-instant local events
+// canonical: a delivery's FIFO seq would depend on which window
+// barrier injected it, and barrier placement shifts with runner quiet
+// promises (which the block cache informs) — so without the rank,
+// turning the cache on or off could reorder same-instant events.
+// Deliveries run first, ordered among themselves by their
+// mode-independent (source shard, source sequence) key.
 func less(a, b event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
 	}
 	return a.seq < b.seq
 }

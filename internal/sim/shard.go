@@ -348,7 +348,10 @@ func (c *Coordinator) drain() {
 		}
 	}
 	for _, e := range q {
-		c.shards[e.dst].k.Schedule(e.at, e.fn)
+		// The key extends the (at, src, seq) order into the kernel heap
+		// itself, so a delivery's place among same-instant events never
+		// depends on which barrier injected it (see Kernel.less).
+		c.shards[e.dst].k.ScheduleDelivery(e.at, uint64(e.src+1)<<48|e.seq, e.fn)
 	}
 }
 

@@ -72,6 +72,15 @@ func BuildNetwork(topo *network.Topology, baseDir string, out io.Writer) (*Netwo
 			return nil, err
 		}
 	}
+	for _, vc := range topo.VChans {
+		n, ok := s.Node(vc.Node)
+		if !ok {
+			return nil, fmt.Errorf("vchan: unknown transputer %q", vc.Node)
+		}
+		if err := s.EnableVChans(n, vc.Link, vc.Count); err != nil {
+			return nil, err
+		}
+	}
 	for _, h := range topo.Hosts {
 		n, ok := s.Node(h.Node)
 		if !ok {
@@ -117,15 +126,25 @@ func BuildNetwork(topo *network.Topology, baseDir string, out io.Writer) (*Netwo
 }
 
 // PrintLinkStats writes the traffic counters of each connected link's
-// outgoing wire: data bytes, acknowledges and occupancy.
+// outgoing wire: data bytes (goodput), acknowledges and occupancy,
+// plus retransmitted bytes and virtual-channel framing counters when
+// the run produced any.
 func PrintLinkStats(w io.Writer, n *network.Node) {
 	for i := 0; i < core.NumLinks; i++ {
 		if !n.Engine.Connected(i) {
 			continue
 		}
 		ws := n.Engine.WireStats(i)
-		fmt.Fprintf(w, "  link %d out-wire: %d data bytes, %d acks, busy %v\n",
+		fmt.Fprintf(w, "  link %d out-wire: %d data bytes, %d acks, busy %v",
 			i, ws.DataBytes, ws.Acks, sim.Time(ws.BusyNs))
+		if ws.Retransmits > 0 {
+			fmt.Fprintf(w, ", %d retransmitted", ws.Retransmits)
+		}
+		fmt.Fprintln(w)
+		if ms, ok := n.Engine.VChanStats(i); ok {
+			fmt.Fprintf(w, "  link %d vchans: %d over one wire, %d chunks, %d payload bytes, %d credit frames\n",
+				i, n.Engine.VChans(i), ms.Chunks, ms.ChunkBytes, ms.Credits)
+		}
 	}
 }
 
