@@ -6,12 +6,26 @@
 //
 //	tbench [-workload all|ring8|grid3x3|compute8] [-workers 1,4]
 //	       [-runs n] [-blockcache=true] [-limit s]
+//	       [-fuse off|greedy|auto|full] [-autofuse]
+//	       [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Each (workload, workers) pair is built fresh and run to completion
 // `runs` times; the stanza reports the median wall-clock ns per run
 // and the simulated-machine-cycles-per-second rate it implies.  The
 // simulation itself is deterministic, so the cycle count is checked to
 // be identical across runs.
+//
+// -fuse co-locates chattering nodes on shared shards (full = one
+// shard, greedy = contract the wiring graph to the worker count, auto
+// = partition by wire traffic observed in a profiling pre-run;
+// -autofuse is shorthand for -fuse=auto).  Fusion never changes the
+// simulated results — the deterministic cycle check still applies —
+// only how fast the simulator reaches them.
+//
+// -cpuprofile/-memprofile write native Go pprof profiles of the
+// measurement runs, for finding engine hot paths (the simulated-time
+// sampler profiles the programs under simulation; these profile the
+// simulator itself).
 package main
 
 import (
@@ -19,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,7 +55,15 @@ func main() {
 	runs := flag.Int("runs", 5, "runs per (workload, workers) pair; the median is reported")
 	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (results are identical either way)")
 	limit := flag.Int("limit", 10, "per-run simulated-time limit in seconds")
+	fuse := flag.String("fuse", "off", "shard fusion mode: off|greedy|auto|full (results are identical at every partition)")
+	autofuse := flag.Bool("autofuse", false, "shorthand for -fuse=auto: partition by wire traffic from a profiling pre-run")
+	cpuprofile := flag.String("cpuprofile", "", "write a native CPU profile of the measurement runs to this file")
+	memprofile := flag.String("memprofile", "", "write a native heap profile (taken after the runs) to this file")
 	flag.Parse()
+
+	if *autofuse {
+		*fuse = "auto"
+	}
 
 	var names []string
 	if *workload == "all" {
@@ -56,11 +80,30 @@ func main() {
 		counts = append(counts, n)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	results := make(map[string]map[string]result)
 	for _, name := range names {
 		per := make(map[string]result)
 		for _, w := range counts {
-			r, err := measure(name, w, *runs, *blockcache, sim.Time(*limit)*sim.Second)
+			groups, err := fuseGroups(*fuse, name, w, sim.Time(*limit)*sim.Second)
+			if err != nil {
+				fatal(err)
+			}
+			if len(groups) > 0 {
+				fmt.Fprintf(os.Stderr, "%s/workers=%d: fused %v\n", name, w, groups)
+			}
+			r, err := measure(name, groups, w, *runs, *blockcache, sim.Time(*limit)*sim.Second)
 			if err != nil {
 				fatal(err)
 			}
@@ -71,7 +114,22 @@ func main() {
 		results[name] = per
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
 	stanza := map[string]any{"runs": *runs, "blockcache": *blockcache, "results": results}
+	if *fuse != "off" {
+		stanza["fuse"] = *fuse
+	}
 	out, err := json.MarshalIndent(stanza, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -79,13 +137,30 @@ func main() {
 	fmt.Println(string(out))
 }
 
+// fuseGroups resolves the -fuse mode into a placement for one
+// (workload, workers) pair.
+func fuseGroups(mode, name string, workers int, limit sim.Time) ([][]string, error) {
+	switch mode {
+	case "off", "":
+		return nil, nil
+	case "full":
+		return bench.FuseGroups(name, 1)
+	case "greedy":
+		return bench.FuseGroups(name, workers)
+	case "auto":
+		return bench.AutoFuseGroups(name, workers, limit)
+	default:
+		return nil, fmt.Errorf("unknown fuse mode %q (want off|greedy|auto|full)", mode)
+	}
+}
+
 // measure runs one (workload, workers) pair `runs` times and returns
 // the median wall time and the throughput it implies.
-func measure(name string, workers, runs int, blockcache bool, limit sim.Time) (result, error) {
+func measure(name string, groups [][]string, workers, runs int, blockcache bool, limit sim.Time) (result, error) {
 	var wall []time.Duration
 	var cycles uint64
 	for i := 0; i < runs; i++ {
-		s, err := bench.Build(name)
+		s, err := bench.BuildPlaced(name, groups)
 		if err != nil {
 			return result{}, err
 		}

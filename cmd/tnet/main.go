@@ -6,14 +6,18 @@
 //
 //	tnet [-stats] [-timeline out.json] [-metrics] [-flows out.json]
 //	     [-prof out.prof] [-profperiod us] [-seed n] [-workers n]
-//	     [-vchan n] [-blockcache=false] network.tnet
+//	     [-vchan n] [-blockcache=false] [-fuse mode] [-enginestats]
+//	     network.tnet
 //
 // -seed overrides the topology file's seed directive, so one fault
 // campaign file can be replayed under many seeds.  -vchan overrides
 // the file's vchan directives, multiplexing n virtual channels over
 // every transputer-to-transputer connection; a multiplexed wire
 // refuses plain transfers, so the programs (or the routing layer)
-// must address those links through their LINKnVCm channels.
+// must address those links through their LINKnVCm channels.  -fuse
+// selects the shard partition (off|topo|greedy|auto|full; results are
+// byte-identical at every mode, only simulator speed changes) and
+// -enginestats reports what the windowed engine did.
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the topology's fault-plan seed")
 	vchan := flag.Int("vchan", 0, "multiplex this many virtual channels over every transputer-to-transputer connection (overrides the topology's vchan directives)")
 	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (purely a simulator speed switch; output is identical either way)")
+	fuse := flag.String("fuse", "topo", "shard fusion mode: "+tool.FuseModes+" (purely a simulator speed switch; output is identical at every partition)")
+	engineStats := flag.Bool("enginestats", false, "print windowed-engine diagnostics (windows, barriers, fused vs mailbox deliveries); these vary with -fuse/-workers, unlike all other output")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tnet [flags] network.tnet")
@@ -67,6 +73,9 @@ func main() {
 		for _, c := range topo.Connections {
 			topo.VChans = append(topo.VChans, network.VChanSpec{Node: c.A, Link: c.ALink, Count: *vchan})
 		}
+	}
+	if err := tool.ResolveFusion(topo, *fuse, filepath.Dir(flag.Arg(0)), *workers); err != nil {
+		fatal(err)
 	}
 	net, err := tool.BuildNetwork(topo, filepath.Dir(flag.Arg(0)), os.Stdout)
 	if err != nil {
@@ -128,6 +137,9 @@ func main() {
 		if err := obs.Finish(rep.Time, os.Stderr); err != nil {
 			fatal(err)
 		}
+	}
+	if *engineStats {
+		tool.PrintEngineStats(os.Stderr, s.EngineStats())
 	}
 	os.Exit(tool.Verdict(wd, undelivered))
 }

@@ -8,7 +8,7 @@
 //	trun [-model t424|t222] [-mem bytes] [-limit dur] [-stats]
 //	     [-timeline out.json] [-metrics] [-flows out.json] [-prof out.prof]
 //	     [-profperiod us] [-in w,w,...] [-workers n] [-blockcache=false]
-//	     program.{occ,tasm,tix}
+//	     [-enginestats] program.{occ,tasm,tix}
 package main
 
 import (
@@ -39,6 +39,7 @@ func main() {
 	input := flag.String("in", "", "comma-separated words queued for host input")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads for the parallel engine (1 = sequential; output is identical at any count)")
 	blockcache := flag.Bool("blockcache", true, "use the predecoded block cache (purely a simulator speed switch; output is identical either way)")
+	engineStats := flag.Bool("enginestats", false, "print windowed-engine diagnostics (windows, barriers, fused vs mailbox deliveries)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: trun [flags] program.{occ,tasm,tix}")
@@ -125,6 +126,9 @@ func main() {
 		if err := obs.Finish(rep.Time, os.Stderr); err != nil {
 			fatal(err)
 		}
+	}
+	if *engineStats {
+		tool.PrintEngineStats(os.Stderr, s.EngineStats())
 	}
 	if n.M.ErrorFlag() {
 		fmt.Fprintln(os.Stderr, "trun: machine error flag set")

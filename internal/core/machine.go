@@ -87,9 +87,13 @@ type Machine struct {
 
 	// waiting counts processes blocked on channels, timers, events or
 	// stop, for deadlock diagnostics; blocked records what each one is
-	// waiting for, keyed by process descriptor.
+	// waiting for.  It is an unordered slice rather than a map: entries
+	// come and go on every blocking communication — the engine's hottest
+	// cycle — while it is only read by the cold watchdog snapshot, and
+	// the handful of live entries make a linear scan cheaper than
+	// hashing.
 	waiting int
-	blocked map[uint64]BlockedProcess
+	blocked []BlockedProcess
 
 	// forcedHalt records the reason a fault campaign stopped the node.
 	forcedHalt string
@@ -217,7 +221,7 @@ func (m *Machine) resetSchedState() {
 	m.eventWaiter = np
 	m.eventArmed = nil
 	m.waiting = 0
-	m.blocked = make(map[uint64]BlockedProcess)
+	m.blocked = m.blocked[:0]
 	m.forcedHalt = ""
 	m.qlen[0], m.qlen[1] = 0, 0
 	m.flowSeq = 0

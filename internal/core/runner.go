@@ -37,6 +37,10 @@ type Runner struct {
 	M      *Machine
 	drv    Driver
 	active bool
+	// stepFn is r.step bound once: the runner schedules a continuation
+	// per batch, and a fresh method value each time is an allocation on
+	// the engine's hottest cycle.
+	stepFn func()
 	// BusyCycles counts cycles the processor spent executing; the
 	// difference from elapsed time is idle time.
 	BusyCycles uint64
@@ -47,6 +51,7 @@ type Runner struct {
 // caller before or after.
 func NewRunner(d Driver, m *Machine) *Runner {
 	r := &Runner{M: m, drv: d}
+	r.stepFn = r.step
 	m.Attach(driverClock{d}, nil)
 	m.OnReady(r.resume)
 	return r
@@ -67,7 +72,7 @@ func (r *Runner) resume() {
 		return
 	}
 	r.active = true
-	r.drv.Schedule(r.drv.Now(), r.step)
+	r.drv.Schedule(r.drv.Now(), r.stepFn)
 }
 
 // bound returns the exclusive virtual time the current batch may run
@@ -148,7 +153,7 @@ func (r *Runner) step() {
 	}
 	d.SetOffset(0)
 	r.active = true
-	id := d.Schedule(base+off, r.step)
+	id := d.Schedule(base+off, r.stepFn)
 	if ahead := m.SendLookaheadCycles(); ahead > 0 {
 		d.PromiseQuiet(id, base+off+sim.Time(int64(ahead)*cyc))
 	}

@@ -220,10 +220,10 @@ func (m *Machine) blockCurrent() {
 // timers); link is the link index for external transfers, else -1.
 func (m *Machine) blockOnComm(kind BlockKind, addr uint64, link int) {
 	m.waiting++
-	m.blocked[m.Wdesc] = BlockedProcess{
+	m.blocked = append(m.blocked, BlockedProcess{
 		Wdesc: m.Wdesc, Iptr: m.Iptr, Kind: kind, Addr: addr,
 		Link: link, Since: m.now(),
-	}
+	})
 	m.blockCurrent()
 }
 
@@ -232,7 +232,13 @@ func (m *Machine) wake(wdesc uint64) {
 	if m.waiting > 0 {
 		m.waiting--
 	}
-	delete(m.blocked, wdesc)
+	for i := range m.blocked {
+		if m.blocked[i].Wdesc == wdesc {
+			m.blocked[i] = m.blocked[len(m.blocked)-1]
+			m.blocked = m.blocked[:len(m.blocked)-1]
+			break
+		}
+	}
 	m.schedule(wdesc)
 }
 

@@ -100,9 +100,11 @@ func Connect(a *Engine, la int, b *Engine, lb int) {
 	ba := &wire{k: b.k, bitNs: BitNs, owner: b, link: lb}
 	if post, prop := sim.CrossPath(a.k, b.k); post != nil {
 		ab.post, ab.prop, ab.rx = post, prop, &rxGate{}
+		ab.fused = sim.SameShard(a.k, b.k)
 	}
 	if post, prop := sim.CrossPath(b.k, a.k); post != nil {
 		ba.post, ba.prop, ba.rx = post, prop, &rxGate{}
+		ba.fused = sim.SameShard(b.k, a.k)
 	}
 	a.outs[la].wire = ab
 	a.outs[la].peer = b.ins[lb]

@@ -159,7 +159,7 @@ func (e *Engine) hbTick() {
 		// A beat goes out only when the wire is idle; real traffic is
 		// its own proof of life.  Severed wires are still beaten — the
 		// transmitting hardware cannot tell the cable is cut.
-		if w := e.outs[l].wire; !w.busy && len(w.data) == 0 && len(w.acks) == 0 {
+		if w := e.outs[l].wire; !w.busy && w.queueEmpty() {
 			e.sendBeat(l)
 		}
 	}

@@ -126,8 +126,8 @@ func TestAckPriority(t *testing.T) {
 	// Queue data then an ack while the wire is busy; the ack must go
 	// first.
 	w.send(packet{bits: DataBits})
-	w.send(packet{bits: DataBits, deliverStart: func() { order = append(order, false) }})
-	w.send(packet{kind: pktAck, bits: AckBits, deliverStart: func() { order = append(order, true) }})
+	w.send(packet{bits: DataBits, deliverStart: func(uint64) { order = append(order, false) }})
+	w.send(packet{kind: pktAck, bits: AckBits, deliverStart: func(uint64) { order = append(order, true) }})
 	k.Run()
 	if len(order) != 2 || !order[0] || order[1] {
 		t.Errorf("transmission order (ack first) = %v", order)

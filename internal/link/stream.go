@@ -91,8 +91,7 @@ func (e *Engine) ResyncLink(l int) {
 	o.rel.seq = 0
 	if o.wire != nil {
 		// Queued frames belong to the abandoned stream.
-		o.wire.data = nil
-		o.wire.acks = nil
+		o.wire.clearQueues()
 	}
 	in := e.ins[l]
 	in.active = false

@@ -40,7 +40,7 @@ type packet struct {
 	retrans bool   // a resend of a byte already counted as goodput
 
 	onTxEnd      func()
-	deliverStart func()
+	deliverStart func(flow uint64) // receives the packet's flow identity
 	deliver      func(p packet)
 }
 
@@ -77,17 +77,48 @@ type wire struct {
 	k     sim.Clock
 	bitNs int64
 	busy  bool
-	acks  []packet // pending acknowledges and naks (sent first)
-	data  []packet // pending data bytes
-	stats WireStats
+	// The two priority queues are head-indexed rings over reusable
+	// backing arrays: a busy wire queues and drains a packet per frame,
+	// and popping by reslicing would force the next append to
+	// reallocate every time.
+	acks     []packet // pending acknowledges and naks (sent first)
+	ackHead  int
+	data     []packet // pending data bytes
+	dataHead int
+	stats    WireStats
 
 	// post and prop are set when the receiving end lives on another
-	// shard: receiver-side callbacks are posted through the coordinator
+	// port: receiver-side callbacks are posted through the coordinator
 	// mailbox with prop propagation delay (the coordinator's
-	// conservative lookahead).  rx is then the receiver-owned cut gate.
-	post func(at sim.Time, fn func())
-	prop sim.Time
-	rx   *rxGate
+	// conservative lookahead).  rx is then the receiver-owned cut gate,
+	// and fused records that both ends live on ONE shard — delivered
+	// in-kernel by the fused local loop, never concurrently with the
+	// sender, which is what licenses the capture-free delivery fifo.
+	post  func(at sim.Time, fn func())
+	prop  sim.Time
+	rx    *rxGate
+	fused bool
+
+	// cur is the frame currently on the wire and curDropped whether a
+	// fault lost it; txDone is the cached frame-completion callback.
+	// Only one frame is in flight per wire at a time (busy), so the
+	// in-flight state lives here instead of in a per-frame closure —
+	// the alternative allocates a packet-sized capture every frame.
+	cur        packet
+	curDropped bool
+	txDone     func()
+
+	// fifo carries receiver-side callbacks posted to the far end of a
+	// cross-clock wire, paired with popPosted (cached in popFn): posts
+	// on one wire execute in the destination kernel in exactly the
+	// order they were made — delivery times along a wire are monotonic
+	// and same-instant deliveries keep their injection order — so the
+	// pending deliveries live in a head-indexed ring here and every
+	// post schedules the same capture-free callback, instead of a
+	// fresh packet-sized closure per frame.
+	fifo     []postedFrame
+	fifoHead int
+	popFn    func()
 
 	// hook, when non-nil, injects faults into this wire's traffic.
 	hook FaultHook
@@ -102,10 +133,28 @@ type wire struct {
 	link  int
 }
 
+// queueEmpty reports whether nothing is waiting behind the frame (if
+// any) currently on the wire.
+func (w *wire) queueEmpty() bool {
+	return w.ackHead == len(w.acks) && w.dataHead == len(w.data)
+}
+
+// clearQueues discards everything queued but not yet transmitted.
+func (w *wire) clearQueues() {
+	w.acks, w.ackHead = nil, 0
+	w.data, w.dataHead = nil, 0
+}
+
 func (w *wire) send(p packet) {
 	if p.kind != pktData {
+		if w.ackHead == len(w.acks) {
+			w.acks, w.ackHead = w.acks[:0], 0
+		}
 		w.acks = append(w.acks, p)
 	} else {
+		if w.dataHead == len(w.data) {
+			w.data, w.dataHead = w.data[:0], 0
+		}
 		w.data = append(w.data, p)
 	}
 	if !w.busy {
@@ -125,12 +174,14 @@ func (w *wire) emit(ev probe.Event) {
 func (w *wire) transmitNext() {
 	var p packet
 	switch {
-	case len(w.acks) > 0:
-		p = w.acks[0]
-		w.acks = w.acks[1:]
-	case len(w.data) > 0:
-		p = w.data[0]
-		w.data = w.data[1:]
+	case w.ackHead < len(w.acks):
+		p = w.acks[w.ackHead]
+		w.acks[w.ackHead] = packet{} // drop callback references for the collector
+		w.ackHead++
+	case w.dataHead < len(w.data):
+		p = w.data[w.dataHead]
+		w.data[w.dataHead] = packet{}
+		w.dataHead++
 	default:
 		w.busy = false
 		return
@@ -180,17 +231,42 @@ func (w *wire) transmitNext() {
 		// fires the overlapped acknowledge) is deferred by the
 		// propagation delay.  Sender-side bookkeeping stays local.
 		start := w.k.Now()
-		rx := w.rx
-		if !dropped {
+		if !dropped && w.fused {
+			// Same-shard receiver: members of one shard never run
+			// concurrently, so the pending deliveries can sit in the
+			// sender-owned fifo and every post reuses one callback.
+			if w.popFn == nil {
+				w.popFn = w.popPosted
+			}
 			if ds := p.deliverStart; ds != nil {
+				w.fifoPush(postedFrame{start: true, ds: ds, flow: p.flow})
+				w.post(start+w.prop, w.popFn)
+			}
+			if dv := p.deliver; dv != nil {
+				// The posted copy keeps only the fields receivers read;
+				// carrying the callback pointers across would triple the
+				// pointer slots the collector scans per in-flight packet.
+				pp := p
+				pp.onTxEnd, pp.deliverStart, pp.deliver = nil, nil, nil
+				w.fifoPush(postedFrame{dv: dv, p: pp})
+				w.post(start+sim.Time(dur), w.popFn)
+			}
+		} else if !dropped {
+			// Cross-shard receiver: the destination runs on another
+			// worker, so each delivery carries its own closure — the
+			// capture is what crosses the mailbox's synchronization.
+			rx := w.rx
+			if ds := p.deliverStart; ds != nil {
+				fl := p.flow
 				w.post(start+w.prop, func() {
 					if !rx.severed {
-						ds()
+						ds(fl)
 					}
 				})
 			}
 			if dv := p.deliver; dv != nil {
 				pp := p
+				pp.onTxEnd, pp.deliverStart, pp.deliver = nil, nil, nil
 				w.post(start+sim.Time(dur), func() {
 					if !rx.severed {
 						dv(pp)
@@ -198,27 +274,69 @@ func (w *wire) transmitNext() {
 				})
 			}
 		}
-		w.k.After(sim.Time(dur), func() {
-			if p.onTxEnd != nil {
-				p.onTxEnd()
-			}
-			w.transmitNext()
-		})
+		// The receiver-side callbacks already travelled through the
+		// mailbox; only sender bookkeeping remains for completion.
+		p.deliverStart, p.deliver = nil, nil
+	} else if !dropped && p.deliverStart != nil {
+		p.deliverStart(p.flow)
+	}
+	w.cur = p
+	w.curDropped = dropped
+	if w.txDone == nil {
+		w.txDone = w.finishTx
+	}
+	w.k.After(sim.Time(dur), w.txDone)
+}
+
+// finishTx fires when the frame on the wire completes: deliver (unless
+// lost, or the wire was cut while the frame was in flight), notify the
+// sender, and start the next queued frame.
+func (w *wire) finishTx() {
+	p := w.cur
+	w.cur = packet{}
+	if !w.curDropped && !w.severed && p.deliver != nil {
+		p.deliver(p)
+	}
+	if p.onTxEnd != nil {
+		p.onTxEnd()
+	}
+	w.transmitNext()
+}
+
+// postedFrame is one receiver-side callback waiting in a cross-clock
+// wire's delivery fifo: either a reception-start signal (start, ds,
+// flow) or a completed packet (dv, p).
+type postedFrame struct {
+	start bool
+	flow  uint64
+	ds    func(flow uint64)
+	dv    func(p packet)
+	p     packet
+}
+
+func (w *wire) fifoPush(f postedFrame) {
+	if w.fifoHead == len(w.fifo) {
+		w.fifo, w.fifoHead = w.fifo[:0], 0
+	}
+	w.fifo = append(w.fifo, f)
+}
+
+// popPosted runs in the destination kernel for every posted delivery:
+// it consumes the next fifo entry — always the one this event was
+// posted for, by the wire-order argument above — and dispatches it
+// unless the receiver-side cut gate has closed in the meantime.
+func (w *wire) popPosted() {
+	f := w.fifo[w.fifoHead]
+	w.fifo[w.fifoHead] = postedFrame{}
+	w.fifoHead++
+	if w.rx.severed {
 		return
 	}
-	if !dropped && p.deliverStart != nil {
-		p.deliverStart()
+	if f.start {
+		f.ds(f.flow)
+		return
 	}
-	w.k.After(sim.Time(dur), func() {
-		// A packet in flight when the wire is cut is lost too.
-		if !dropped && !w.severed && p.deliver != nil {
-			p.deliver(p)
-		}
-		if p.onTxEnd != nil {
-			p.onTxEnd()
-		}
-		w.transmitNext()
-	})
+	f.dv(f.p)
 }
 
 func boolByte(b bool) int {

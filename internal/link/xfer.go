@@ -48,6 +48,15 @@ type outHalf struct {
 
 	// rel is the error-detecting-mode sender state (see reliable.go).
 	rel relSender
+
+	// Per-peer receiver callbacks, built once and reused for every
+	// packet: a busy link sends thousands of frames, and minting fresh
+	// closures per byte is pure allocator load.  cbPeer records which
+	// peer the cached set was built for, so a rewire invalidates it.
+	cbPeer         *inHalf
+	cbDeliverStart func(flow uint64)
+	cbDeliver      func(p packet)
+	cbTxEnd        func()
 }
 
 // inHalf is the receiving side of one channel of a link.
@@ -89,6 +98,10 @@ type inHalf struct {
 
 	// rel is the error-detecting-mode receiver state (see reliable.go).
 	rel relReceiver
+
+	// Cached acknowledge-delivery callback (see outHalf's cache).
+	cbAckPeer    *outHalf
+	cbAckArrived func(p packet)
 }
 
 func (o *outHalf) start(read func(i int) byte, count int, done func()) {
@@ -114,17 +127,28 @@ func (o *outHalf) sendByte() {
 		o.sendReliable(b, false)
 		return
 	}
-	in := o.peer
-	fl := o.flow
+	o.refreshCallbacks()
 	o.wire.send(packet{
 		kind:         pktData,
 		bits:         DataBits,
 		payload:      b,
-		flow:         fl,
-		deliverStart: func() { in.dataStart(fl) },
-		deliver:      func(p packet) { in.dataArrive(p) },
-		onTxEnd:      func() { o.txEnd() },
+		flow:         o.flow,
+		deliverStart: o.cbDeliverStart,
+		deliver:      o.cbDeliver,
+		onTxEnd:      o.cbTxEnd,
 	})
+}
+
+// refreshCallbacks (re)builds the cached per-peer packet callbacks.
+func (o *outHalf) refreshCallbacks() {
+	if o.cbPeer == o.peer && o.cbTxEnd != nil {
+		return
+	}
+	in := o.peer
+	o.cbPeer = in
+	o.cbDeliverStart = func(fl uint64) { in.dataStart(fl) }
+	o.cbDeliver = func(p packet) { in.dataArrive(p) }
+	o.cbTxEnd = func() { o.txEnd() }
 }
 
 func (o *outHalf) txEnd() {
@@ -261,11 +285,15 @@ func (in *inHalf) store(b byte) {
 }
 
 func (in *inHalf) sendAck() {
-	out := in.peerOut
+	if in.cbAckPeer != in.peerOut || in.cbAckArrived == nil {
+		out := in.peerOut
+		in.cbAckPeer = out
+		in.cbAckArrived = func(packet) { out.ackArrived() }
+	}
 	in.ackWire.send(packet{
 		kind:    pktAck,
 		bits:    AckBits,
 		flow:    in.flow,
-		deliver: func(packet) { out.ackArrived() },
+		deliver: in.cbAckArrived,
 	})
 }

@@ -89,9 +89,9 @@ func (s *System) ApplyFaults(plan fault.Plan) error {
 			lnk := r.Link
 			// Timed faults act on one node, so they live on that node's
 			// shard and fire in its deterministic event order.
-			n.shard.Schedule(r.At, func() { n.Engine.SeverLink(lnk) })
+			n.port.Schedule(r.At, func() { n.Engine.SeverLink(lnk) })
 		case fault.Halt:
-			n.shard.Schedule(r.At, func() {
+			n.port.Schedule(r.At, func() {
 				n.M.ForceHalt("fault injection")
 				n.Engine.StopHeartbeat()
 				n.Engine.SeverAll()
@@ -110,7 +110,7 @@ func (s *System) ApplyFaults(plan fault.Plan) error {
 					mark.keep = true
 				}
 			}
-			n.shard.Schedule(r.At, func() { s.restartNode(n, restore) })
+			n.port.Schedule(r.At, func() { s.restartNode(n, restore) })
 		}
 	}
 	return nil
@@ -181,7 +181,7 @@ func (s *System) restartNode(n *Node, restore []int) {
 	if !n.M.ClearForcedHalt() {
 		return
 	}
-	now := n.shard.Now()
+	now := n.port.Now()
 	for _, l := range restore {
 		n.Engine.RestoreLink(l)
 	}
@@ -202,11 +202,17 @@ func (s *System) restartNode(n *Node, restore []int) {
 		if !ok {
 			continue // host link: the wire is back; stalled host transfers are not replayed
 		}
-		if pn.shard == n.shard {
+		if pn.port == n.port {
+			// A self-connection: both ends are this very node.
 			pn.Engine.RecoverLink(pl)
 		} else {
+			// Distinct peer: the recovery crosses node timelines, so it
+			// travels as a keyed post one Lookahead out — through the
+			// mailbox when the peer is on another shard, as an
+			// intra-kernel delivery when fused — so the revival order is
+			// identical at every partition.
 			pe, plnk := pn.Engine, pl
-			n.shard.Post(pn.shard, now+Lookahead, func() { pe.RecoverLink(plnk) })
+			n.port.Post(pn.port, now+Lookahead, func() { pe.RecoverLink(plnk) })
 		}
 	}
 	n.Engine.StartHeartbeat()

@@ -30,13 +30,14 @@ import (
 const Lookahead = sim.Time(link.AckBits * link.BitNs)
 
 // Node is one transputer in a system: a machine, its link engine, its
-// private event-queue shard, and a probe collector.
+// scheduling port (on a private shard, or on a shard shared with fused
+// neighbours), and a probe collector.
 type Node struct {
 	Name   string
 	M      *core.Machine
 	Engine *link.Engine
 	runner *core.Runner
-	shard  *sim.Shard
+	port   *sim.Port
 	col    *collector
 	wired  [core.NumLinks]bool
 	// peers and peerLink record what each wired link connects to: the
@@ -64,10 +65,11 @@ type severMark struct {
 	keep bool
 }
 
-// Clock returns the node's scheduling domain (its shard), for code
-// that needs to plant events in this node's timeline — the profiler's
-// sampling ticks, fault schedules, experiment harnesses.
-func (n *Node) Clock() *sim.Shard { return n.shard }
+// Clock returns the node's scheduling port, for code that needs to
+// plant events in this node's timeline — the profiler's sampling
+// ticks, fault schedules, experiment harnesses.  The port identifies
+// the node even when several fused nodes share one shard.
+func (n *Node) Clock() *sim.Port { return n.port }
 
 // collector buffers one node's probe events during a window; the
 // coordinator's barrier callback merges all buffers in (time, node)
@@ -109,6 +111,16 @@ type System struct {
 	// affected node's shard; subscribe before Run.
 	downSubs []func(*Node)
 	upSubs   []func(*Node)
+	// placement maps node names to fusion groups (see SetPlacement);
+	// members of one group share a shard.  Nodes not named get private
+	// shards, the default.
+	placement map[string]*fuseGroup
+}
+
+// fuseGroup is one fused shard-to-be: its shard is created when the
+// first member node is added.
+type fuseGroup struct {
+	shard *sim.Shard
 }
 
 // NewSystem returns an empty system.
@@ -140,6 +152,45 @@ func (s *System) SetBlockCache(on bool) {
 // Now returns the current simulated time.
 func (s *System) Now() sim.Time { return s.coord.Now() }
 
+// EngineStats reports windowed-engine diagnostics (window counts,
+// barrier mailbox vs fused deliveries, barrier wait).  These describe
+// how the simulator ran, not what the simulated system did: they vary
+// with partition and workers, unlike every observable output.
+func (s *System) EngineStats() sim.EngineStats { return s.coord.EngineStats() }
+
+// SetPlacement declares fusion groups before nodes are added: the
+// members of each group share one event-queue shard, so their mutual
+// link traffic is delivered as ordinary intra-kernel events with no
+// coordinator barrier in between.  Results are byte-identical at any
+// placement; only simulator performance changes.  Each group must have
+// at least two members, no name may appear twice, and every named node
+// must be added after this call.
+func (s *System) SetPlacement(groups [][]string) error {
+	for _, g := range groups {
+		if len(g) < 2 {
+			return fmt.Errorf("network: fusion group needs at least 2 members, got %v", g)
+		}
+		for _, name := range g {
+			if _, dup := s.byName[name]; dup {
+				return fmt.Errorf("network: node %q already added before placement", name)
+			}
+		}
+	}
+	if s.placement == nil {
+		s.placement = make(map[string]*fuseGroup)
+	}
+	for _, g := range groups {
+		fg := &fuseGroup{}
+		for _, name := range g {
+			if _, dup := s.placement[name]; dup {
+				return fmt.Errorf("network: node %q named in two fusion groups", name)
+			}
+			s.placement[name] = fg
+		}
+	}
+	return nil
+}
+
 // AddTransputer creates a node on its own shard.  The configuration's
 // Name is replaced by the node name.
 func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
@@ -152,11 +203,24 @@ func (s *System) AddTransputer(name string, cfg core.Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{Name: name, M: m}
-	n.shard = s.coord.NewShard()
-	n.runner = core.NewRunner(n.shard, m)
-	n.Engine = link.NewEngine(n.shard, m)
+	// Placement decides the node's shard; its port rank is the node
+	// creation ordinal either way (every node allocates exactly one
+	// port, in AddTransputer order), so event identities and delivery
+	// keys — and with them all observable output — are independent of
+	// the partition.
+	if g, ok := s.placement[name]; ok && g.shard != nil {
+		n.port = g.shard.NewPort()
+	} else {
+		sh := s.coord.NewShard()
+		n.port = sh.Port()
+		if ok {
+			g.shard = sh
+		}
+	}
+	n.runner = core.NewRunner(n.port, m)
+	n.Engine = link.NewEngine(n.port, m)
 	n.Engine.OnSever(func(l int) { s.linkSevered(n, l) })
-	m.Attach(shardClock{n.shard}, n.Engine)
+	m.Attach(portClock{n.port}, n.Engine)
 	m.SetFlowOrigin(uint64(len(s.nodes)) + 1)
 	if s.bus != nil {
 		s.attachCollector(n)
@@ -243,12 +307,12 @@ func (s *System) flushProbes(upTo sim.Time, final bool) {
 	}
 }
 
-// shardClock adapts a shard to core.Clock.
-type shardClock struct{ s *sim.Shard }
+// portClock adapts a port to core.Clock.
+type portClock struct{ p *sim.Port }
 
-func (c shardClock) Now() sim.Time                        { return c.s.Now() }
-func (c shardClock) At(t sim.Time, fn func()) sim.EventID { return c.s.Schedule(t, fn) }
-func (c shardClock) Cancel(id sim.EventID)                { c.s.Cancel(id) }
+func (c portClock) Now() sim.Time                        { return c.p.Now() }
+func (c portClock) At(t sim.Time, fn func()) sim.EventID { return c.p.Schedule(t, fn) }
+func (c portClock) Cancel(id sim.EventID)                { c.p.Cancel(id) }
 
 // MustAddTransputer is AddTransputer for known-good configurations.
 func (s *System) MustAddTransputer(name string, cfg core.Config) *Node {
@@ -287,14 +351,16 @@ func (s *System) Connect(a *Node, la int, b *Node, lb int) error {
 	b.wired[lb] = true
 	a.peers[la], a.peerLink[la] = b, lb
 	b.peers[lb], b.peerLink[lb] = a, la
-	if a.shard != b.shard {
+	if as, bs := a.port.Shard(), b.port.Shard(); as != bs {
 		// Register the pair in the coordinator's wiring matrix: window
 		// horizons then follow the actual topology (shortest influence
 		// paths) instead of assuming every shard can reach every other
-		// in one Lookahead.
-		s.coord.Wire(a.shard.ID(), b.shard.ID(), Lookahead)
-		s.coord.Wire(b.shard.ID(), a.shard.ID(), Lookahead)
-		mark := &severMark{a: a.shard.ID(), b: b.shard.ID()}
+		// in one Lookahead.  A connection between fused nodes (same
+		// shard) never reaches the matrix: its traffic is intra-kernel
+		// and bounds no window.
+		s.coord.Wire(as.ID(), bs.ID(), Lookahead)
+		s.coord.Wire(bs.ID(), as.ID(), Lookahead)
+		mark := &severMark{a: as.ID(), b: bs.ID()}
 		a.severs[la] = mark
 		b.severs[lb] = mark
 	}
@@ -319,7 +385,7 @@ func (s *System) linkSevered(n *Node, l int) {
 	if done {
 		return
 	}
-	cut := n.shard.Now() + Lookahead
+	cut := n.port.Now() + Lookahead
 	s.coord.Unwire(mark.a, mark.b, cut)
 	s.coord.Unwire(mark.b, mark.a, cut)
 }
@@ -344,7 +410,7 @@ func (n *Node) Publish(ev probe.Event) {
 	if n.col == nil {
 		return
 	}
-	ev.Time = n.shard.Now()
+	ev.Time = n.port.Now()
 	ev.Node = n.Name
 	n.col.bus.Publish(ev)
 }
@@ -438,7 +504,7 @@ func (s *System) AttachHost(n *Node, l int, w io.Writer) (*Host, error) {
 	if n.wired[l] {
 		return nil, fmt.Errorf("network: %s link %d already connected", n.Name, l)
 	}
-	h := newHost(n.shard, n, l, w)
+	h := newHost(n.port, n, l, w)
 	if n.col != nil {
 		h.bus = n.col.bus
 	}

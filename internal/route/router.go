@@ -293,7 +293,7 @@ func (nd *rnode) hookEngine() {
 	})
 }
 
-func (nd *rnode) clock() *sim.Shard { return nd.nn.Clock() }
+func (nd *rnode) clock() *sim.Port { return nd.nn.Clock() }
 
 // SendAt schedules a message injection at the origin node at the given
 // instant.  The message is accepted (sequenced, stored, routed) only

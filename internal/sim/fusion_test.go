@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The fusion tests pin the partition-invariance contract: the same
+// scenario run with every actor on its own shard, all actors fused
+// onto one shard, or any mix, produces an identical trace — fused
+// delivery replaces the mailbox and barrier but keeps every timestamp
+// and every same-instant ordering decision.
+
+// partitions describes how four actors (0..3) map onto shards.
+var fourWays = [][][]int{
+	{{0}, {1}, {2}, {3}}, // one shard per actor
+	{{0, 1, 2, 3}},       // fully fused
+	{{0, 1}, {2, 3}},     // two pairs
+	{{0, 2}, {1}, {3}},   // an uneven mix
+	{{0}, {1, 2, 3}},     // one loner
+}
+
+// buildPorts realises a partition: one shard per group, one port per
+// actor, returned indexed by actor.  Ports are created in actor order
+// — the way the network layer places nodes — so each actor's port rank
+// (the delivery-key origin) is the same at every partition.
+func buildPorts(c *Coordinator, groups [][]int) []*Port {
+	n := 0
+	shardOf := map[int]int{}
+	for gi, g := range groups {
+		n += len(g)
+		for _, actor := range g {
+			shardOf[actor] = gi
+		}
+	}
+	ports := make([]*Port, n)
+	shards := make([]*Shard, len(groups))
+	for actor := 0; actor < n; actor++ {
+		gi := shardOf[actor]
+		if shards[gi] == nil {
+			shards[gi] = c.NewShard()
+			ports[actor] = shards[gi].Port()
+		} else {
+			ports[actor] = shards[gi].NewPort()
+		}
+	}
+	return ports
+}
+
+// withPartitions runs the scenario once per partition and worker count
+// and checks every run produces the trace of the one-shard-per-actor
+// workers=1 run.
+func withPartitions(t *testing.T, build func(ports []*Port, c *Coordinator) *[]string) {
+	t.Helper()
+	run := func(groups [][]int, workers int) []string {
+		const L = Time(100)
+		c := NewCoordinator(L)
+		c.SetWorkers(workers)
+		ports := buildPorts(c, groups)
+		trace := build(ports, c)
+		c.Run()
+		return *trace
+	}
+	want := run(fourWays[0], 1)
+	for _, groups := range fourWays {
+		for _, w := range []int{1, 4} {
+			got := run(groups, w)
+			if len(got) != len(want) {
+				t.Fatalf("partition %v workers=%d trace %v, want %v", groups, w, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("partition %v workers=%d trace[%d] = %q, want %q",
+						groups, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFusionPartitionInvariantPingPong: a request/reply chain between
+// actors — each delivery provokes the next, the exact pattern that
+// bounds how far a fused member may run past its own sends.  The
+// trace (actor, time) sequence must be identical at every partition.
+func TestFusionPartitionInvariantPingPong(t *testing.T) {
+	const L = Time(100)
+	withPartitions(t, func(ports []*Port, c *Coordinator) *[]string {
+		trace := &[]string{}
+		var volley func(from, to int, n int) func()
+		volley = func(from, to int, n int) func() {
+			return func() {
+				*trace = append(*trace, fmt.Sprintf("%d->%d@%v", from, to, ports[to].Now()))
+				if n > 0 {
+					next := (to + 1) % len(ports)
+					ports[to].Post(ports[next], ports[to].Now()+L, volley(to, next, n-1))
+				}
+			}
+		}
+		ports[0].Schedule(L, func() {
+			ports[0].Post(ports[1], ports[0].Now()+L, volley(0, 1, 12))
+		})
+		return trace
+	})
+}
+
+// TestFusionPartitionInvariantSameInstant: deliveries from several
+// actors landing on one actor at the same instant keep their (origin
+// rank, sequence) order at every partition, interleaved after the
+// destination's earlier-scheduled local events.
+func TestFusionPartitionInvariantSameInstant(t *testing.T) {
+	const L = Time(100)
+	withPartitions(t, func(ports []*Port, c *Coordinator) *[]string {
+		trace := &[]string{}
+		at := 5 * L
+		ports[0].Schedule(at, func() { *trace = append(*trace, "local-0") })
+		ports[0].Schedule(at, func() { *trace = append(*trace, "local-1") })
+		ports[1].Schedule(L, func() {
+			ports[1].Post(ports[0], at, func() { *trace = append(*trace, "from-1") })
+		})
+		ports[2].Schedule(L, func() {
+			ports[2].Post(ports[0], at, func() { *trace = append(*trace, "from-2-a") })
+			ports[2].Post(ports[0], at, func() { *trace = append(*trace, "from-2-b") })
+		})
+		ports[3].Schedule(L, func() {
+			ports[3].Post(ports[0], at, func() { *trace = append(*trace, "from-3") })
+		})
+		return trace
+	})
+}
+
+// TestFusionPartitionInvariantCancel: the posted-cancel contract — a
+// cancel issued early enough lands in time, a cancel racing the event
+// loses — resolves identically whether the canceller shares the
+// owner's shard or not.
+func TestFusionPartitionInvariantCancel(t *testing.T) {
+	const L = Time(100)
+	withPartitions(t, func(ports []*Port, c *Coordinator) *[]string {
+		trace := &[]string{}
+		far := ports[0].Schedule(10*L, func() { *trace = append(*trace, "far-fired") })
+		near := ports[0].Schedule(2*L, func() { *trace = append(*trace, "near-fired") })
+		ports[1].Schedule(L, func() {
+			ports[1].Cancel(far)
+			ports[1].Cancel(near)
+		})
+		ports[2].Schedule(3*L, func() { *trace = append(*trace, "tick") })
+		return trace
+	})
+}
+
+// TestDistClosureAfterRewire: the coordinator's influence-distance
+// closure after incremental Unwire and Wire calls must equal a
+// from-scratch Floyd–Warshall over the surviving links — the horizon
+// computation trusts dist, so drift here would silently widen or
+// wrongly narrow windows.
+func TestDistClosureAfterRewire(t *testing.T) {
+	const L = Time(100)
+	type edge struct {
+		a, b int
+		lat  Time
+	}
+	c := NewCoordinator(L)
+	const n = 6
+	for i := 0; i < n; i++ {
+		c.NewShard()
+	}
+	// A ring with a chord, wired both ways.
+	edges := []edge{}
+	both := func(a, b int, lat Time) {
+		c.Wire(a, b, lat)
+		c.Wire(b, a, lat)
+		edges = append(edges, edge{a, b, lat}, edge{b, a, lat})
+	}
+	for i := 0; i < n; i++ {
+		both(i, (i+1)%n, L)
+	}
+	both(0, 3, 2*L)
+
+	check := func(stage string) {
+		t.Helper()
+		// From-scratch Floyd–Warshall over the current edge set.
+		want := make([][]Time, n)
+		for i := range want {
+			want[i] = make([]Time, n)
+			for j := range want[i] {
+				if i != j {
+					want[i][j] = MaxTime
+				}
+			}
+		}
+		for _, e := range edges {
+			if e.lat < want[e.a][e.b] {
+				want[e.a][e.b] = e.lat
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if want[i][k] == MaxTime || want[k][j] == MaxTime {
+						continue
+					}
+					if d := want[i][k] + want[k][j]; d < want[i][j] {
+						want[i][j] = d
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d, connected := c.Dist(i, j)
+				if want[i][j] == MaxTime {
+					if connected {
+						t.Errorf("%s: Dist(%d,%d) = %v, want disconnected", stage, i, j, d)
+					}
+					continue
+				}
+				if !connected || d != want[i][j] {
+					t.Errorf("%s: Dist(%d,%d) = %v (connected=%v), want %v",
+						stage, i, j, d, connected, want[i][j])
+				}
+			}
+		}
+	}
+	check("initial")
+
+	// Sever the chord and one ring segment (both directions, cut time
+	// already passed — Dist applies pending unwires).
+	drop := func(a, b int) {
+		c.Unwire(a, b, 0)
+		c.Unwire(b, a, 0)
+		kept := edges[:0]
+		for _, e := range edges {
+			if (e.a == a && e.b == b) || (e.a == b && e.b == a) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+	}
+	drop(0, 3)
+	drop(2, 3)
+	check("after severs")
+
+	// Re-wire the severed segment with a different latency and add a
+	// new shortcut; the closure must pick the new paths up.
+	both(2, 3, 3*L)
+	both(1, 4, L)
+	check("after rewires")
+
+	// Sever node 5 completely: 4<->5 and 5<->0 go away, disconnecting
+	// it from the rest.
+	drop(4, 5)
+	drop(5, 0)
+	check("after isolating a shard")
+}

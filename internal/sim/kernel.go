@@ -53,12 +53,28 @@ type Clock interface {
 	Cancel(id EventID)
 }
 
+// event is one heap entry.  It is deliberately pointer-free — the
+// callback lives in the slot table — so heap sifts are pure scalar
+// copies with no GC write barriers on the engine's hottest path.
 type event struct {
 	at   Time
 	rank uint8  // same-instant class: deliveries (0) before local events (1)
 	seq  uint64 // tie-break within a rank: FIFO for locals, (src, xseq) for deliveries
-	id   EventID
-	fn   func()
+	slot uint32 // index into the kernel's slot table
+}
+
+// slotInfo is the liveness record of one heap entry.  An EventID packs
+// the slot index with the slot's generation at scheduling time, so a
+// handle held across the event's firing goes stale automatically: the
+// pop bumps the generation, and any later Cancel or IsPending through
+// the old handle mismatches.  This keeps per-event bookkeeping to two
+// array accesses — no map insert on schedule, no map delete on fire —
+// which matters because the kernel executes one of these cycles per
+// instruction batch.
+type slotInfo struct {
+	gen       uint32
+	cancelled bool
+	fn        func() // the event's callback, cleared when the slot retires
 }
 
 // Kernel is a time-ordered event queue.  It is not safe for concurrent
@@ -66,13 +82,13 @@ type event struct {
 // goroutines, but each individual kernel is only ever touched by one
 // goroutine at a time.
 type Kernel struct {
-	now       Time
-	heap      []event
-	nextSeq   uint64
-	nextID    EventID
-	pending   map[EventID]bool // in the heap and not cancelled
-	cancelled map[EventID]bool // in the heap but cancelled
-	live      int              // len(pending)
+	now     Time
+	heap    []event
+	nextSeq uint64
+	slots   []slotInfo
+	free    []uint32 // recycled slot indices
+	live    int      // heap entries not cancelled
+	ncancel int      // heap entries cancelled but not yet reaped
 
 	// offset is a virtual-time displacement added to Now: a batched
 	// instruction runner advances it between kernel events so that
@@ -93,12 +109,56 @@ type Kernel struct {
 
 // NewKernel returns a kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{
-		pending:   make(map[EventID]bool),
-		cancelled: make(map[EventID]bool),
-		nextID:    1,
-		horizon:   MaxTime,
+	return &Kernel{horizon: MaxTime}
+}
+
+// EventID layout: slot+1 in bits 32..47, generation in bits 0..31.
+// Bits 48 and up stay clear for the coordinator's port-rank tag, and
+// slot+1 keeps the zero ID invalid.  A slot's generation advances once
+// per event that lives on it; at one event per simulated microsecond a
+// slot would need a century of simulated time to wrap.
+const (
+	slotShift = 32
+	slotLimit = 1<<(portRankShift-slotShift) - 1
+	genMask   = 1<<slotShift - 1
+)
+
+// alloc takes a slot for a new event and returns its index and ID.
+func (k *Kernel) alloc() (uint32, EventID) {
+	var s uint32
+	if n := len(k.free); n > 0 {
+		s = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		if len(k.slots) >= slotLimit {
+			panic("sim: too many concurrent events")
+		}
+		k.slots = append(k.slots, slotInfo{})
+		s = uint32(len(k.slots) - 1)
 	}
+	return s, EventID(uint64(s+1)<<slotShift | uint64(k.slots[s].gen))
+}
+
+// reap retires a popped heap entry's slot: the generation bump stales
+// every outstanding handle, the callback reference is released, and
+// the slot returns to the freelist.
+func (k *Kernel) reap(slot uint32) {
+	k.slots[slot].gen++
+	k.slots[slot].fn = nil
+	k.free = append(k.free, slot)
+}
+
+// lookup resolves an ID to its live slot, or -1 if the handle is
+// stale, cancelled or invalid.
+func (k *Kernel) lookup(id EventID) int {
+	s := int(id>>slotShift) - 1
+	if s < 0 || s >= len(k.slots) {
+		return -1
+	}
+	if k.slots[s].gen != uint32(id&genMask) || k.slots[s].cancelled {
+		return -1
+	}
+	return s
 }
 
 // Now returns the current simulated time (including any virtual-time
@@ -139,7 +199,7 @@ func (k *Kernel) PromiseQuiet(id EventID, until Time) {}
 
 // IsPending reports whether an event is still scheduled and not
 // cancelled.
-func (k *Kernel) IsPending(id EventID) bool { return k.pending[id] }
+func (k *Kernel) IsPending(id EventID) bool { return k.lookup(id) >= 0 }
 
 // NextEvent reports the earliest pending event's time and ID — the
 // coordinator's check for whether a quiet promise covers the head of
@@ -149,21 +209,32 @@ func (k *Kernel) NextEvent() (Time, EventID, bool) {
 	if !ok {
 		return 0, 0, false
 	}
-	return e.at, e.id, true
+	return e.at, EventID(uint64(e.slot+1)<<slotShift | uint64(k.slots[e.slot].gen)), true
+}
+
+// HeadIs reports whether the earliest pending event is the one the
+// handle names — the coordinator's check for whether a quiet promise
+// covers the head of the queue, without materialising the head's ID.
+func (k *Kernel) HeadIs(id EventID) bool {
+	e, ok := k.peek()
+	if !ok {
+		return false
+	}
+	s := int(id>>slotShift) - 1
+	return s == int(e.slot) && k.slots[e.slot].gen == uint32(id&genMask)
 }
 
 // NextTimeExcluding reports the time of the earliest pending event
 // other than the one named — the coordinator's send-bound scan, which
 // discounts a runner continuation covered by a quiet promise.  The
 // scan is linear over the heap; shard heaps hold a handful of events,
-// and with no cancelled entries lurking every heap entry is pending,
-// so the per-entry liveness check can be skipped wholesale.
+// and cancelled entries are skipped by their slot flag.
 func (k *Kernel) NextTimeExcluding(id EventID) (Time, bool) {
+	xslot := k.lookup(id)
 	best := MaxTime
 	found := false
-	clean := len(k.cancelled) == 0
 	for _, e := range k.heap {
-		if e.id == id || (!clean && !k.pending[e.id]) {
+		if int(e.slot) == xslot || (k.ncancel > 0 && k.slots[e.slot].cancelled) {
 			continue
 		}
 		if e.at < best {
@@ -180,11 +251,10 @@ func (k *Kernel) Schedule(at Time, fn func()) EventID {
 	if at < k.now+k.offset {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now+k.offset))
 	}
-	id := k.nextID
-	k.nextID++
-	k.push(event{at: at, rank: 1, seq: k.nextSeq, id: id, fn: fn})
+	s, id := k.alloc()
+	k.slots[s].fn = fn
+	k.push(event{at: at, rank: 1, seq: k.nextSeq, slot: s})
 	k.nextSeq++
-	k.pending[id] = true
 	k.live++
 	k.stamp++
 	return id
@@ -199,10 +269,9 @@ func (k *Kernel) ScheduleDelivery(at Time, key uint64, fn func()) EventID {
 	if at < k.now+k.offset {
 		panic(fmt.Sprintf("sim: delivery at %v before now %v", at, k.now+k.offset))
 	}
-	id := k.nextID
-	k.nextID++
-	k.push(event{at: at, rank: 0, seq: key, id: id, fn: fn})
-	k.pending[id] = true
+	s, id := k.alloc()
+	k.slots[s].fn = fn
+	k.push(event{at: at, rank: 0, seq: key, slot: s})
 	k.live++
 	k.stamp++
 	return id
@@ -214,13 +283,15 @@ func (k *Kernel) After(d Time, fn func()) EventID {
 }
 
 // Cancel prevents a scheduled event from firing.  Cancelling an event
-// that has already fired (or was already cancelled) is a no-op.
+// that has already fired (or was already cancelled) is a no-op: the
+// slot generation in the ID goes stale the moment the event pops.
 func (k *Kernel) Cancel(id EventID) {
-	if !k.pending[id] {
+	s := k.lookup(id)
+	if s < 0 {
 		return
 	}
-	delete(k.pending, id)
-	k.cancelled[id] = true
+	k.slots[s].cancelled = true
+	k.ncancel++
 	k.live--
 	k.stamp++
 }
@@ -229,14 +300,17 @@ func (k *Kernel) Cancel(id EventID) {
 func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
 		e := k.pop()
-		if k.cancelled[e.id] {
-			delete(k.cancelled, e.id)
+		if k.ncancel > 0 && k.slots[e.slot].cancelled {
+			k.slots[e.slot].cancelled = false
+			k.ncancel--
+			k.reap(e.slot)
 			continue
 		}
+		fn := k.slots[e.slot].fn
+		k.reap(e.slot)
 		k.now = e.at
-		delete(k.pending, e.id)
 		k.live--
-		e.fn()
+		fn()
 		return true
 	}
 	return false
@@ -301,9 +375,11 @@ func (k *Kernel) AdvanceTo(t Time) {
 func (k *Kernel) peek() (event, bool) {
 	for len(k.heap) > 0 {
 		e := k.heap[0]
-		if k.cancelled[e.id] {
+		if k.ncancel > 0 && k.slots[e.slot].cancelled {
 			k.pop()
-			delete(k.cancelled, e.id)
+			k.slots[e.slot].cancelled = false
+			k.ncancel--
+			k.reap(e.slot)
 			continue
 		}
 		return e, true

@@ -6,16 +6,17 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// This file implements the sharded parallel engine: per-shard event
+// This file implements the sharded parallel engine: per-node event
 // kernels advanced in bounded windows by a coordinator, with
 // conservative Chandy–Misra-style synchronisation and no null
 // messages.
 //
-// Every cross-shard interaction has a minimum latency (for transputer
-// links, the shortest packet's wire time), so an event posted by shard
-// A while executing at time T cannot be due at another shard before
+// Every cross-node interaction has a minimum latency (for transputer
+// links, the shortest packet's wire time), so an event posted by a
+// node while executing at time T cannot be due at another node before
 // T + lookahead.  The coordinator therefore lets each shard run
 // independently up to a per-shard horizon
 //
@@ -26,16 +27,32 @@ import (
 // order, and opens the next window.  Shard execution inside a window
 // is pure single-threaded event processing, so results are bit-for-bit
 // identical whether windows run on one worker or many.
+//
+// A shard hosts one or more Ports — the per-participant handles the
+// nodes of the simulated system schedule and post through.  Each port
+// owns its own kernel; with one port per shard this is exactly the
+// one-node-per-shard engine.  Fusing several ports onto one shard
+// (see NewPort) keeps their mutual traffic inside the shard: a post
+// between co-resident ports is scheduled straight into the destination
+// port's kernel at its exact timestamp — no mailbox entry, no
+// coordinator barrier — and the member kernels are interleaved by a
+// barrier-free sequential loop (see Shard.runBefore) applying the same
+// conservative rule locally.  Because both the mailbox path and the
+// fused path deliver at the same instants with the same
+// (origin port, per-port sequence) ordering keys, every port's kernel
+// executes the identical event sequence at any partition, which is
+// what makes observable results byte-identical however nodes are
+// grouped onto shards.
 
-// crossEvent is one mailbox entry: an event produced by shard src
-// while executing a window, due on shard dst at time at.  Entries are
+// crossEvent is one mailbox entry: an event produced by port src
+// while executing a window, due on port dst at time at.  Entries are
 // released at the barrier sorted by (at, src, seq) — a total order
 // that no amount of worker parallelism can perturb.
 type crossEvent struct {
 	at  Time
-	src int
+	src int // origin port rank
 	seq uint64
-	dst int
+	dst int // destination port rank
 	fn  func()
 }
 
@@ -43,6 +60,7 @@ type crossEvent struct {
 type Coordinator struct {
 	lookahead Time
 	shards    []*Shard
+	ports     []*Port
 	workers   int
 
 	mu sync.Mutex
@@ -95,9 +113,21 @@ type Coordinator struct {
 
 	// Per-barrier scratch, reused to keep the barrier loop
 	// allocation-free: each shard's next event time (MaxTime when its
-	// queue is empty) and the active-shard list for the window.
+	// queues are empty) and the active-shard list for the window.
 	nts       []Time
 	activeBuf []*Shard
+
+	// Engine diagnostics (see EngineStats).  All but fused are touched
+	// only by the coordinator thread between windows; fused is bumped by
+	// shard goroutines taking the intra-shard delivery fast path.
+	stBarriers     uint64
+	stWindows      uint64
+	stShardWindows uint64
+	stCross        uint64
+	stSpanSum      Time
+	stBarrierWait  int64
+	lastMin1       Time
+	lastMin1Set    bool
 }
 
 // distEntry is one source in a shard's nearest-first influence list.
@@ -126,7 +156,7 @@ const (
 )
 
 // NewCoordinator builds a coordinator whose conservative lookahead is
-// the given minimum cross-shard event latency.
+// the given minimum cross-node event latency.
 func NewCoordinator(lookahead Time) *Coordinator {
 	if lookahead <= 0 {
 		panic("sim: coordinator lookahead must be positive")
@@ -154,11 +184,29 @@ func (c *Coordinator) Workers() int { return c.workers }
 // one callback is supported; registering replaces the previous one.
 func (c *Coordinator) OnFlush(fn func(upTo Time, final bool)) { c.onFlush = fn }
 
-// NewShard adds a shard and returns it.
+// NewShard adds a shard and returns it.  The shard comes with a
+// default port, so code written against the one-port-per-shard surface
+// (Schedule, Cancel, Post on the Shard itself) keeps working.
 func (c *Coordinator) NewShard() *Shard {
-	s := &Shard{c: c, id: len(c.shards), k: NewKernel()}
+	s := &Shard{c: c, id: len(c.shards)}
 	c.shards = append(c.shards, s)
+	s.p0 = c.newPort(s)
 	return s
+}
+
+// newPort registers a port on the shard.  Rank — the creation ordinal
+// across the whole coordinator — is the port's identity in delivery
+// keys and event IDs, so the canonical order of same-instant
+// deliveries depends only on which ports exist, never on how they are
+// partitioned onto shards.
+func (c *Coordinator) newPort(s *Shard) *Port {
+	if len(c.ports) >= claimMask-1 {
+		panic("sim: too many ports")
+	}
+	p := &Port{s: s, rank: len(c.ports), k: NewKernel()}
+	c.ports = append(c.ports, p)
+	s.ports = append(s.ports, p)
+	return p
 }
 
 // Wire records a direct link from shard a to shard b with the given
@@ -315,15 +363,35 @@ func (c *Coordinator) refreshDist() {
 	}
 }
 
+// Dist reports the current influence distance from shard a to shard b
+// (infinite when no path connects them), recomputing the closure if
+// wiring changed.  For tests and diagnostics; the run loop uses the
+// internal matrices directly.
+func (c *Coordinator) Dist(a, b int) (d Time, connected bool) {
+	if !c.wired {
+		if a == b {
+			return 0, true
+		}
+		return c.lookahead, true
+	}
+	c.applyUnwires(MaxTime)
+	c.refreshDist()
+	d = c.dist[a][b]
+	return d, d < infTime
+}
+
 // Shards returns the shards in creation order.
 func (c *Coordinator) Shards() []*Shard { return c.shards }
 
-// Now returns the global simulated time: the furthest any shard has
+// Ports returns the ports in creation (rank) order.
+func (c *Coordinator) Ports() []*Port { return c.ports }
+
+// Now returns the global simulated time: the furthest any port has
 // executed (or the limit of the last bounded run if later).
 func (c *Coordinator) Now() Time {
 	t := c.now
-	for _, s := range c.shards {
-		if n := s.k.Now(); n > t {
+	for _, p := range c.ports {
+		if n := p.k.Now(); n > t {
 			t = n
 		}
 	}
@@ -340,6 +408,7 @@ func (c *Coordinator) drain() {
 	if len(q) == 0 {
 		return
 	}
+	c.stCross += uint64(len(q))
 	// Insertion sort: the mailbox is tiny (a window's worth of link
 	// packets) and often nearly ordered.
 	for i := 1; i < len(q); i++ {
@@ -350,9 +419,17 @@ func (c *Coordinator) drain() {
 	for _, e := range q {
 		// The key extends the (at, src, seq) order into the kernel heap
 		// itself, so a delivery's place among same-instant events never
-		// depends on which barrier injected it (see Kernel.less).
-		c.shards[e.dst].k.ScheduleDelivery(e.at, uint64(e.src+1)<<48|e.seq, e.fn)
+		// depends on which barrier injected it (see Kernel.less) — and,
+		// because the fused fast path in Port.Post uses the same key, not
+		// on whether the origin port shares the destination's shard.
+		c.ports[e.dst].k.ScheduleDelivery(e.at, deliveryKey(e.src, e.seq), e.fn)
 	}
+}
+
+// deliveryKey packs a delivery's canonical identity — origin port rank
+// and per-port sequence — into the kernel ordering key.
+func deliveryKey(rank int, seq uint64) uint64 {
+	return uint64(rank+1)<<portRankShift | seq
 }
 
 func crossLess(a, b crossEvent) bool {
@@ -372,7 +449,7 @@ func (c *Coordinator) flush(upTo Time, final bool) {
 	}
 }
 
-// Run fires events until every shard's queue (and the mailbox) drains,
+// Run fires events until every port's queue (and the mailbox) drains,
 // and returns the final time.
 func (c *Coordinator) Run() Time {
 	c.run(MaxTime, false)
@@ -380,7 +457,7 @@ func (c *Coordinator) Run() Time {
 }
 
 // RunUntil fires events with time <= limit.  It returns true if the
-// system drained before the limit; otherwise every shard's clock is
+// system drained before the limit; otherwise every port's clock is
 // advanced to the limit (matching Kernel.RunUntil on a lone kernel).
 func (c *Coordinator) RunUntil(limit Time) bool {
 	return c.run(limit, true)
@@ -401,7 +478,7 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 		min1, min2 := MaxTime, MaxTime
 		owner := -1
 		for _, s := range c.shards {
-			t, ok := s.k.NextTime()
+			t, ok := s.NextTime()
 			if !ok {
 				c.nts[s.id] = MaxTime
 				continue
@@ -421,19 +498,24 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 		c.flush(min1, false)
 		if bounded && min1 > limit {
 			for _, s := range c.shards {
-				s.k.AdvanceTo(limit)
+				s.advanceTo(limit)
 			}
 			if c.now < limit {
 				c.now = limit
 			}
 			return false
 		}
+		c.stBarriers++
+		if c.lastMin1Set && min1 > c.lastMin1 {
+			c.stSpanSum += min1 - c.lastMin1
+		}
+		c.lastMin1, c.lastMin1Set = min1, true
 		if c.wired {
 			c.applyUnwires(min1)
 			c.refreshDist()
 			minSb := MaxTime
 			for _, q := range c.shards {
-				sb := q.sendBoundAt(c.nts[q.id])
+				sb := q.sendBound()
 				c.sendBounds[q.id] = sb
 				if sb < minSb {
 					minSb = sb
@@ -479,6 +561,10 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 			}
 		}
 		c.activeBuf = active
+		if len(active) > 0 {
+			c.stWindows++
+			c.stShardWindows += uint64(len(active))
+		}
 		c.runWindow(active)
 	}
 }
@@ -493,6 +579,12 @@ func (c *Coordinator) run(limit Time, bounded bool) bool {
 // Pairs with no connecting path contribute nothing: a severed or
 // unwired neighbourhood cannot affect s at all.  On a complete graph
 // with no promises this reduces exactly to the min1/min2 rule.
+//
+// Fusion changes none of the arithmetic, only the graph it runs over:
+// the partition's shards replace per-node shards, an inter-shard edge
+// is the minimum latency over member wire pairs (Wire keeps the min),
+// and intra-member traffic does not appear at all — which is the
+// point, since it no longer bounds any window.
 func (c *Coordinator) horizonFor(s *Shard) Time {
 	hzn := MaxTime
 	minSb := c.minSendBound
@@ -597,7 +689,7 @@ func (c *Coordinator) tryClaim() bool {
 			continue
 		}
 		s := c.active[idx]
-		s.k.RunBefore(s.hzn)
+		s.runBefore(s.hzn)
 		c.windowWg.Done()
 		return true
 	}
@@ -609,7 +701,7 @@ func (c *Coordinator) tryClaim() bool {
 func (c *Coordinator) runWindow(active []*Shard) {
 	if c.tokenCh == nil || len(active) == 1 {
 		for _, s := range active {
-			s.k.RunBefore(s.hzn)
+			s.runBefore(s.hzn)
 		}
 		return
 	}
@@ -636,40 +728,138 @@ func (c *Coordinator) runWindow(active []*Shard) {
 	// The coordinator works the window too, then waits out the stragglers.
 	for c.tryClaim() {
 	}
+	t0 := time.Now()
 	c.windowWg.Wait()
+	c.stBarrierWait += time.Since(t0).Nanoseconds()
 }
 
 // post appends a cross-shard event to the mailbox.  Safe to call from
 // any shard goroutine during a window.
-func (c *Coordinator) post(src, dst *Shard, at Time, fn func()) {
-	seq := atomic.AddUint64(&src.xseq, 1)
+func (c *Coordinator) post(src, dst *Port, at Time, fn func()) {
+	seq := src.xseq
+	src.xseq++
 	c.mu.Lock()
-	c.xq = append(c.xq, crossEvent{at: at, src: src.id, seq: seq, dst: dst.id, fn: fn})
+	c.xq = append(c.xq, crossEvent{at: at, src: src.rank, seq: seq, dst: dst.rank, fn: fn})
 	c.mu.Unlock()
 }
 
-// shardIDShift places the owning shard (plus one) in the top bits of
-// an EventID, so a handle can be routed back to the kernel that issued
-// it even when it crosses shards.
-const shardIDShift = 48
+// EngineStats is a snapshot of what the windowed engine actually did —
+// partition- and worker-dependent diagnostics, deliberately kept out
+// of the partition-invariant observable outputs (traces, stats, flow
+// tables).  BarrierWaitNs is wall-clock and meaningful only with more
+// than one worker; everything else is deterministic for a fixed
+// partition and workload.
+type EngineStats struct {
+	// Shards and Ports describe the partition: Ports simulation
+	// participants mapped onto Shards coordinator units.
+	Shards int
+	Ports  int
+	// Barriers counts coordinator loop iterations; Windows those that
+	// had at least one shard with work, and ShardWindows the total
+	// shard-window executions (ShardWindows/Windows is the mean number
+	// of shards active per window).
+	Barriers     uint64
+	Windows      uint64
+	ShardWindows uint64
+	// LocalWindows counts the barrier-free micro-windows fused shards
+	// ran to interleave their member ports (zero with no fusion).
+	LocalWindows uint64
+	// Cross counts deliveries that crossed shards through the barrier
+	// mailbox; Fused counts port-to-port deliveries that stayed inside
+	// one shard (the fusion fast path).
+	Cross uint64
+	Fused uint64
+	// SpanSum is the total simulated time the barrier low-water mark
+	// advanced over the run; SpanSum/Windows is the mean window span.
+	SpanSum Time
+	// BarrierWaitNs is wall-clock time the coordinator spent waiting at
+	// window barriers for helpers to finish.
+	BarrierWaitNs int64
+}
 
-// Shard is one partition of the simulation: a kernel plus its window
-// horizon.  It implements the same Clock interface as a Kernel, and
-// additionally the batch-driver surface (NextTime, Horizon, SetOffset,
-// Stamp) used by instruction runners.
+// EngineStats returns the engine diagnostics accumulated so far.  Call
+// between runs, not from inside a window.
+func (c *Coordinator) EngineStats() EngineStats {
+	var local, fused uint64
+	for _, s := range c.shards {
+		local += s.stLocal
+		fused += s.stFused
+	}
+	return EngineStats{
+		Shards:        len(c.shards),
+		Ports:         len(c.ports),
+		Barriers:      c.stBarriers,
+		Windows:       c.stWindows,
+		ShardWindows:  c.stShardWindows,
+		LocalWindows:  local,
+		Cross:         c.stCross,
+		Fused:         fused,
+		SpanSum:       c.stSpanSum,
+		BarrierWaitNs: c.stBarrierWait,
+	}
+}
+
+// portRankShift places the owning port's rank (plus one) in the top
+// bits of an EventID, so a handle can be routed back to the kernel
+// that issued it even when it crosses shards — and in delivery keys,
+// where it makes same-instant ordering partition-invariant.
+const portRankShift = 48
+
+// Shard is one unit of coordinator scheduling: a group of ports whose
+// kernels are advanced together inside a window, by one goroutine at a
+// time.  It implements the same Clock interface as a Kernel (through
+// its default port), and additionally the batch-driver surface
+// (NextTime, Horizon, SetOffset, Stamp) used by instruction runners.
 type Shard struct {
-	c    *Coordinator
-	id   int
+	c     *Coordinator
+	id    int
+	hzn   Time
+	p0    *Port
+	ports []*Port
+
+	// Scratch for the fused member loop (cached per-member next-event
+	// times and send bounds with the kernel stamps that validate them),
+	// and the shard's diagnostic counters — plain fields, since a
+	// shard's work is single-threaded within a window.
+	nts     []Time
+	sbs     []Time
+	stamps  []uint64
+	stLocal uint64
+	stFused uint64
+}
+
+// Port is one participant's handle on a shard: an event kernel of its
+// own plus the identity cross-port deliveries are keyed by.  With
+// shard fusion several ports share one shard, and their kernels are
+// interleaved sequentially without coordinator barriers; a port's rank
+// — its creation ordinal across the coordinator — is
+// partition-invariant, which keeps event identities and same-instant
+// delivery order identical however ports are grouped.  A Port
+// implements the Clock interface and the batch-driver surface, so
+// machines, engines and runners are written against it exactly as they
+// were against a Shard.
+type Port struct {
+	s    *Shard
+	rank int
 	k    *Kernel
 	hzn  Time
 	xseq uint64
 
 	// The current quiet promise (see PromiseQuiet): the pending event
 	// promiseID will not act externally before promiseUntil.  Written
-	// only by the shard's own window execution, read only at barriers.
+	// only by the port's own window execution, read only between
+	// member turns and at barriers.
 	promiseID    EventID
 	promiseUntil Time
 }
+
+// NewPort adds a participant to the shard — the fusion primitive:
+// ports of one shard interleave without coordinator barriers, and
+// their mutual traffic needs no mailbox.
+func (s *Shard) NewPort() *Port { return s.c.newPort(s) }
+
+// Port returns the shard's default port (created with the shard).
+func (s *Shard) Port() *Port { return s.p0 }
 
 // ID returns the shard's index within its coordinator.
 func (s *Shard) ID() int { return s.id }
@@ -677,51 +867,103 @@ func (s *Shard) ID() int { return s.id }
 // Coordinator returns the owning coordinator.
 func (s *Shard) Coordinator() *Coordinator { return s.c }
 
-// Now returns the shard's current (virtual) time.
-func (s *Shard) Now() Time { return s.k.Now() }
+// Shard returns the shard the port lives on.
+func (p *Port) Shard() *Shard { return p.s }
 
-// Pending reports the number of scheduled, uncancelled events on this
-// shard.  It deliberately ignores the coordinator mailbox: the answer
-// must not depend on how far other shards have progressed inside the
-// current window.
-func (s *Shard) Pending() int { return s.k.Pending() }
+// Rank returns the port's creation ordinal within its coordinator.
+func (p *Port) Rank() int { return p.rank }
 
-// Schedule runs fn at the given time on this shard.  The returned ID
-// carries the shard's identity, so it can be cancelled from anywhere.
-func (s *Shard) Schedule(at Time, fn func()) EventID {
-	return s.tag(s.k.Schedule(at, fn))
+// Now returns the default port's current (virtual) time.
+func (s *Shard) Now() Time { return s.p0.k.Now() }
+
+// Now returns the port's current (virtual) time.
+func (p *Port) Now() Time { return p.k.Now() }
+
+// Pending reports the number of scheduled, uncancelled events across
+// the shard's ports.  It deliberately ignores the coordinator mailbox:
+// the answer must not depend on how far other shards have progressed
+// inside the current window.
+func (s *Shard) Pending() int {
+	n := 0
+	for _, p := range s.ports {
+		n += p.k.Pending()
+	}
+	return n
+}
+
+// Pending reports the scheduled, uncancelled events on this port's own
+// kernel (the mailbox is ignored, as in Shard.Pending).
+func (p *Port) Pending() int { return p.k.Pending() }
+
+// Schedule runs fn at the given time on the default port.
+func (s *Shard) Schedule(at Time, fn func()) EventID { return s.p0.Schedule(at, fn) }
+
+// Schedule runs fn at the given time on the port's kernel.  The
+// returned ID carries the port's rank, so it can be cancelled from
+// anywhere.
+func (p *Port) Schedule(at Time, fn func()) EventID {
+	return p.tag(p.k.Schedule(at, fn))
 }
 
 // After schedules fn after a delay from the shard's current time.
-func (s *Shard) After(d Time, fn func()) EventID {
-	return s.tag(s.k.After(d, fn))
+func (s *Shard) After(d Time, fn func()) EventID { return s.p0.After(d, fn) }
+
+// After schedules fn after a delay from the port's current time.
+func (p *Port) After(d Time, fn func()) EventID {
+	return p.tag(p.k.After(d, fn))
 }
 
+// Cancel prevents a scheduled event from firing (see Port.Cancel).
+func (s *Shard) Cancel(id EventID) { s.p0.Cancel(id) }
+
 // Cancel prevents a scheduled event from firing.  An event owned by
-// another shard cannot be revoked retroactively: the cancellation is
-// posted through the mailbox and takes effect at the next window
-// barrier at least one lookahead ahead — if the event fires first, the
-// cancel is a no-op, exactly like any cross-shard signal.
-func (s *Shard) Cancel(id EventID) {
-	owner := int(id>>shardIDShift) - 1
-	raw := id & (1<<shardIDShift - 1)
-	switch {
-	case owner < 0 || owner >= len(s.c.shards):
+// another port cannot be revoked retroactively: the cancellation takes
+// effect one lookahead ahead — through the mailbox when the owner is
+// on another shard, as a keyed delivery into the owner's kernel when
+// fused onto this one — so the race between a cancel and the event
+// firing resolves identically at every partition.  If the event fires
+// first, the cancel is a no-op, exactly like any cross-node signal.
+func (p *Port) Cancel(id EventID) {
+	owner := int(id>>portRankShift) - 1
+	raw := id & (1<<portRankShift - 1)
+	c := p.s.c
+	if owner < 0 || owner >= len(c.ports) {
 		panic(fmt.Sprintf("sim: cancel of foreign event id %#x", uint64(id)))
-	case owner == s.id:
-		s.k.Cancel(raw)
+	}
+	op := c.ports[owner]
+	switch {
+	case op == p:
+		p.k.Cancel(raw)
+	case op.s == p.s:
+		p.deliverLocal(op, p.Now()+c.lookahead, func() { op.k.Cancel(raw) })
 	default:
-		dst := s.c.shards[owner]
-		s.c.post(s, dst, s.Now()+s.c.lookahead, func() { dst.k.Cancel(raw) })
+		c.post(p, op, p.Now()+c.lookahead, func() { op.k.Cancel(raw) })
 	}
 }
 
-func (s *Shard) tag(id EventID) EventID {
-	return id | EventID(s.id+1)<<shardIDShift
+func (p *Port) tag(id EventID) EventID {
+	return id | EventID(p.rank+1)<<portRankShift
 }
 
-// NextTime reports the earliest pending event on this shard.
-func (s *Shard) NextTime() (Time, bool) { return s.k.NextTime() }
+// NextTime reports the earliest pending event across the shard's
+// ports.
+func (s *Shard) NextTime() (Time, bool) {
+	if len(s.ports) == 1 {
+		return s.p0.k.NextTime()
+	}
+	best, found := MaxTime, false
+	for _, p := range s.ports {
+		if t, ok := p.k.NextTime(); ok && t < best {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// NextTime reports the earliest pending event on the port's own
+// kernel — the batch runner's execution bound, which fusion leaves
+// per-node so batches stay long.
+func (p *Port) NextTime() (Time, bool) { return p.k.NextTime() }
 
 // PromiseQuiet records a batch runner's send promise: the pending
 // event id (the runner's continuation) will not start or acknowledge
@@ -729,69 +971,296 @@ func (s *Shard) NextTime() (Time, bool) { return s.k.NextTime() }
 // instructions ahead of it are pure compute with a known minimum cycle
 // cost.  The promise dies with the event: once id fires it is ignored,
 // and the runner issues a fresh one (or none) at its next batch end.
-func (s *Shard) PromiseQuiet(id EventID, until Time) {
-	s.promiseID = id & (1<<shardIDShift - 1)
-	s.promiseUntil = until
+func (s *Shard) PromiseQuiet(id EventID, until Time) { s.p0.PromiseQuiet(id, until) }
+
+// PromiseQuiet records the port's quiet promise (see
+// Shard.PromiseQuiet).  Each port carries its own: fused runners
+// promise independently, and both the coordinator's shard send bound
+// and the fused member loop discount each promised continuation
+// individually.
+func (p *Port) PromiseQuiet(id EventID, until Time) {
+	p.promiseID = id & (1<<portRankShift - 1)
+	p.promiseUntil = until
 }
 
-// sendBoundAt is the earliest instant this shard could act in a way
-// visible outside it, given nt, its already-peeked next event time.
-// Without a live promise that is simply nt; with one, the promised
-// continuation is discounted up to the promised time — the other
-// pending events still bound the answer, because any of them could
-// cascade into a send at its own instant.  The promise can only
-// matter when the promised event is the head of the queue: any other
-// head is an unpromised event already bounding sends at nt, so the
-// (linear) scan for the second-earliest event runs only for shards
-// genuinely quiet at their horizon.
-func (s *Shard) sendBoundAt(nt Time) Time {
-	if nt == MaxTime || s.promiseUntil <= nt {
+// sendBound is the earliest instant the shard could act in a way
+// visible outside it: the minimum of its ports' send bounds.
+func (s *Shard) sendBound() Time {
+	if len(s.ports) == 1 {
+		p := s.p0
+		nt, ok := p.k.NextTime()
+		if !ok {
+			return MaxTime
+		}
+		return p.sendBoundAt(nt)
+	}
+	b := MaxTime
+	for _, p := range s.ports {
+		nt, ok := p.k.NextTime()
+		if !ok {
+			continue
+		}
+		if sb := p.sendBoundAt(nt); sb < b {
+			b = sb
+		}
+	}
+	return b
+}
+
+// sendBoundAt is the earliest instant this port could act in a way
+// visible outside its kernel, given nt, its already-peeked next event
+// time.  Without a live promise that is simply nt; with one, the
+// promised continuation is discounted up to the promised time — the
+// other pending events still bound the answer, because any of them
+// could cascade into a send at its own instant.  The promise can only
+// matter when the promised event is the head of the queue, so the
+// linear scan runs only for ports genuinely quiet at their horizon.
+func (p *Port) sendBoundAt(nt Time) Time {
+	if p.promiseUntil <= nt {
 		return nt
 	}
-	if _, head, ok := s.k.NextEvent(); !ok || head != s.promiseID {
+	if !p.k.HeadIs(p.promiseID) {
 		return nt
 	}
-	b := s.promiseUntil
-	if rest, ok := s.k.NextTimeExcluding(s.promiseID); ok && rest < b {
+	b := p.promiseUntil
+	if rest, ok := p.k.NextTimeExcluding(p.promiseID); ok && rest < b {
 		b = rest
 	}
 	return b
 }
 
-// Horizon is the exclusive bound of the shard's current window.
-func (s *Shard) Horizon() Time { return s.hzn }
+// runBefore executes the shard's events strictly before hzn.  A lone
+// port simply runs its kernel — the one-node-per-shard engine.  A
+// fused shard interleaves its member kernels with the same
+// conservative rule the coordinator applies across shards, evaluated
+// locally with no mutex, no mailbox and no goroutine barrier: a member
+// may run to the earliest instant any co-member could influence it,
+//
+//	bound(p) = min(hzn, min over q != p of sendBound(q) + lookahead)
+//
+// and because sendBound(q) is never below the global minimum next
+// event, the earliest member always gets strictly past its own next
+// event — the loop cannot stall.  Port-to-port posts go straight into
+// the destination kernel (see Port.Post), which is sound for exactly
+// the coordinator's reason: a post from a port executing at T is due
+// at T+lookahead or later, and no co-member has run past that.
+func (s *Shard) runBefore(hzn Time) {
+	if len(s.ports) == 1 {
+		p := s.p0
+		p.hzn = hzn
+		p.k.RunBefore(hzn)
+		return
+	}
+	L := s.c.lookahead
+	if len(s.nts) != len(s.ports) {
+		s.nts = make([]Time, len(s.ports))
+		s.sbs = make([]Time, len(s.ports))
+		s.stamps = make([]uint64, len(s.ports))
+		for i := range s.stamps {
+			s.stamps[i] = ^uint64(0) // force the first refresh
+		}
+	}
+	for {
+		// Scan pass: refresh stale cache entries, find the earliest next
+		// event and the two smallest send bounds (sb2 covers the member
+		// holding sb1 — its own sends cannot bound it).  A member's
+		// cached entry can only go stale by executing or by a schedule
+		// change, and every schedule change — a delivery posted in, a
+		// cross-port cancel, the member's own scheduling while it ran —
+		// bumps its kernel stamp.
+		m1 := MaxTime
+		sb1, sb2 := MaxTime, MaxTime
+		sb1i := -1
+		for i, q := range s.ports {
+			if q.k.stamp != s.stamps[i] {
+				s.stamps[i] = q.k.stamp
+				if nt, ok := q.k.NextTime(); ok {
+					s.nts[i] = nt
+					if q.promiseUntil > nt {
+						s.sbs[i] = q.sendBoundAt(nt)
+					} else {
+						s.sbs[i] = nt
+					}
+				} else {
+					s.nts[i] = MaxTime
+					s.sbs[i] = MaxTime
+				}
+			}
+			if t := s.nts[i]; t < m1 {
+				m1 = t
+			}
+			if sb := s.sbs[i]; sb < sb1 {
+				sb1, sb2, sb1i = sb, sb1, i
+			} else if sb < sb2 {
+				sb2 = sb
+			}
+		}
+		if m1 >= hzn {
+			return
+		}
+		// Run every member that has work inside its bound, all from the
+		// bounds cached at the top of the pass (a mini-barrier, so one
+		// scan is amortised over up to len(ports) member runs).  The
+		// bound has two terms:
+		//
+		//   - the earliest co-member send, one lookahead out: a
+		//     co-member q sends no earlier than sb(q), so nothing can
+		//     land here before sb(q)+L.  Ordering within the pass cannot
+		//     matter — deliveries posted by an earlier member arrive at
+		//     or above every later member's bound, so no member executes
+		//     a same-pass delivery, and every member's own sends stay at
+		//     or above its (accurately cached) send bound.
+		//
+		//   - the member's OWN send bound, two lookaheads out: the
+		//     member's first send of this pass, at T >= sb(p), reaches a
+		//     co-member at T+L, and that co-member may react the very
+		//     instant the delivery executes (the overlapped acknowledge
+		//     does exactly this), landing a reply back here at T+2L.
+		//     Without this term a member whose neighbours' queues are
+		//     empty would run arbitrarily far past its own sends and the
+		//     reply would arrive in its past.  Longer reaction chains
+		//     only add lookaheads, and chains seeded by a third member r
+		//     are covered by r's sb(r)+L term.
+		//
+		// sendBound(q) >= nextTime(q) >= m1 for every member, so the m1
+		// holder always clears its own next event and the loop
+		// progresses.
+		for i, q := range s.ports {
+			sb := sb1
+			if i == sb1i {
+				sb = sb2
+			}
+			b := hzn
+			if sb < infTime && sb+L < b {
+				b = sb + L
+			}
+			if own := s.sbs[i]; own < infTime && own+2*L < b {
+				b = own + 2*L
+			}
+			if s.nts[i] < b {
+				q.hzn = b
+				// Mark the runner's entry stale: executing changes its
+				// queue without necessarily bumping its stamp.
+				s.stamps[i] = ^uint64(0)
+				q.k.RunBefore(b)
+				s.stLocal++
+			}
+		}
+	}
+}
 
-// SetOffset sets the shard kernel's virtual-time displacement.
-func (s *Shard) SetOffset(d Time) { s.k.SetOffset(d) }
+// advanceTo moves every member clock forward to t without firing
+// anything; the coordinator uses it to bring the whole system to the
+// common limit of a bounded run.
+func (s *Shard) advanceTo(t Time) {
+	for _, p := range s.ports {
+		p.k.AdvanceTo(t)
+	}
+}
+
+// Horizon is the exclusive bound of the default port's current window.
+func (s *Shard) Horizon() Time { return s.p0.hzn }
+
+// Horizon is the exclusive bound of the port's current execution
+// window: the coordinator window for a lone port, the tighter member
+// bound inside a fused shard.
+func (p *Port) Horizon() Time { return p.hzn }
+
+// SetOffset sets the default port kernel's virtual-time displacement.
+func (s *Shard) SetOffset(d Time) { s.p0.SetOffset(d) }
+
+// SetOffset sets the port kernel's virtual-time displacement.  Each
+// port owns its kernel, so fused runners' displacements never
+// interfere.
+func (p *Port) SetOffset(d Time) { p.k.SetOffset(d) }
 
 // Stamp mirrors Kernel.Stamp for batch runners.
-func (s *Shard) Stamp() uint64 { return s.k.Stamp() }
+func (s *Shard) Stamp() uint64 { return s.p0.Stamp() }
 
-// AdvanceTo moves the shard clock forward without firing anything; a
+// Stamp mirrors Kernel.Stamp for batch runners.
+func (p *Port) Stamp() uint64 { return p.k.Stamp() }
+
+// AdvanceTo moves the default port's clock forward without firing
+// anything.
+func (s *Shard) AdvanceTo(t Time) { s.p0.AdvanceTo(t) }
+
+// AdvanceTo moves the port's clock forward without firing anything; a
 // batch runner uses it so the clock ends at the last executed
 // instruction, exactly where one-event-per-instruction stepping would
 // have left it.
-func (s *Shard) AdvanceTo(t Time) { s.k.AdvanceTo(t) }
+func (p *Port) AdvanceTo(t Time) { p.k.AdvanceTo(t) }
 
-// Post delivers fn to another shard at the given absolute time, which
-// must be at least one lookahead in this shard's future — the
-// conservative contract the whole engine rests on.
+// Post delivers fn to another shard's default port at the given
+// absolute time, which must be at least one lookahead in this shard's
+// future — the conservative contract the whole engine rests on.
 func (s *Shard) Post(dst *Shard, at Time, fn func()) {
-	s.c.post(s, dst, at, fn)
+	s.p0.Post(dst.p0, at, fn)
+}
+
+// Post delivers fn into another port's timeline at the given absolute
+// time, at least one lookahead in this port's future.  When the ports
+// share a shard — fusion — the delivery is scheduled directly on the
+// destination kernel at its exact timestamp, skipping mailbox and
+// barrier; the key carries the same (origin rank, per-port sequence)
+// identity a mailbox delivery would, so the destination kernel's event
+// order is identical either way.
+func (p *Port) Post(dst *Port, at Time, fn func()) {
+	if dst.s == p.s {
+		p.deliverLocal(dst, at, fn)
+		return
+	}
+	p.s.c.post(p, dst, at, fn)
+}
+
+// deliverLocal schedules a keyed delivery on a co-member's kernel —
+// the fused counterpart of a mailbox post.  Members of one shard never
+// execute concurrently, so the destination kernel is quiescent (its
+// runner offset restored) whenever this runs.
+func (p *Port) deliverLocal(dst *Port, at Time, fn func()) {
+	seq := p.xseq
+	p.xseq++
+	p.s.stFused++
+	dst.k.ScheduleDelivery(at, deliveryKey(p.rank, seq), fn)
 }
 
 // CrossPath reports how scheduled work travels from src's clock domain
-// to dst's.  For clocks in the same domain (the same shard, or both
-// plain kernels) it returns a nil post function and zero latency: the
-// caller should schedule directly, today's fast path.  For two shards
-// of one coordinator it returns a mailbox post function and the
-// coordinator's lookahead, the minimum latency every cross-shard event
-// must respect.
+// to dst's.  For the same port (or both plain kernels) it returns a
+// nil post function and zero latency: the caller should schedule
+// directly, today's fast path.  For two distinct ports of one
+// coordinator it returns a post function and the coordinator's
+// lookahead — the wire propagation model every port-to-port delivery
+// respects, whether it crosses shards through the mailbox or stays
+// inside a fused shard.  Using the posted path for fused pairs too is
+// what makes results partition-invariant: timing and ordering match
+// the mailbox path exactly.
 func CrossPath(src, dst Clock) (post func(at Time, fn func()), latency Time) {
-	ss, ok1 := src.(*Shard)
-	ds, ok2 := dst.(*Shard)
-	if !ok1 || !ok2 || ss == ds || ss.c != ds.c {
+	sp, dp := portOf(src), portOf(dst)
+	if sp == nil || dp == nil || sp == dp || sp.s.c != dp.s.c {
 		return nil, 0
 	}
-	return func(at Time, fn func()) { ss.Post(ds, at, fn) }, ss.c.lookahead
+	return func(at Time, fn func()) { sp.Post(dp, at, fn) }, sp.s.c.lookahead
+}
+
+// SameShard reports whether two clocks execute on the same shard — and
+// therefore never concurrently.  Callers use it to decide whether
+// sender-owned state may be read from delivery callbacks: inside one
+// shard the members run sequentially, while distinct shards run on
+// different workers in the same window.
+func SameShard(src, dst Clock) bool {
+	sp, dp := portOf(src), portOf(dst)
+	return sp != nil && dp != nil && sp.s == dp.s
+}
+
+// portOf resolves a Clock to the port identity CrossPath reasons
+// about: a Port itself, a Shard's default port, or nil for a plain
+// kernel.
+func portOf(c Clock) *Port {
+	switch v := c.(type) {
+	case *Port:
+		return v
+	case *Shard:
+		return v.p0
+	default:
+		return nil
+	}
 }

@@ -1,0 +1,127 @@
+package tool
+
+import (
+	"fmt"
+	"io"
+
+	"transputer/internal/network"
+	"transputer/internal/sim"
+)
+
+// Fusion mode resolution shared by the network tools: how a `-fuse`
+// flag and a topology's own `shard` directives combine into the
+// placement BuildNetwork applies.  Whatever the mode, results are
+// byte-identical; fusion only changes how fast the simulator gets
+// there.
+
+// FuseModes documents the accepted -fuse values.
+const FuseModes = "off|topo|greedy|auto|full"
+
+// ResolveFusion turns a -fuse mode into the topology's final Shards
+// placement.  Modes:
+//
+//	off     ignore any `shard` directives; one node per shard
+//	topo    the file's `shard` directives as written (the default)
+//	greedy  contract the wiring graph to at most maxParts shards
+//	full    every node on one shard
+//	auto    profile a pre-run of the unfused topology, then contract
+//	        the observed traffic graph to at most maxParts shards,
+//	        ignoring edges too quiet to be worth a shard
+//
+// For auto, baseDir resolves the topology's program paths (the pre-run
+// loads and runs the real programs; its host output is discarded).
+func ResolveFusion(topo *network.Topology, mode, baseDir string, maxParts int) error {
+	switch mode {
+	case "topo", "":
+		return nil
+	case "off":
+		topo.Shards = nil
+		return nil
+	case "full":
+		if len(topo.Transputers) < 2 {
+			topo.Shards = nil
+			return nil
+		}
+		all := make([]string, len(topo.Transputers))
+		for i, t := range topo.Transputers {
+			all[i] = t.Name
+		}
+		topo.Shards = [][]string{all}
+		return nil
+	case "greedy":
+		topo.Shards = network.GreedyFuse(nodeNames(topo), wiringEdges(topo), maxParts, 1)
+		return nil
+	case "auto":
+		groups, err := AutoFuseGroups(topo, baseDir, maxParts)
+		if err != nil {
+			return err
+		}
+		topo.Shards = groups
+		return nil
+	default:
+		return fmt.Errorf("unknown fuse mode %q (want %s)", mode, FuseModes)
+	}
+}
+
+func nodeNames(topo *network.Topology) []string {
+	names := make([]string, len(topo.Transputers))
+	for i, t := range topo.Transputers {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// wiringEdges is the static fusion graph: one unit-weight edge per
+// transputer-to-transputer connection (self-connections excluded).
+func wiringEdges(topo *network.Topology) []network.FuseEdge {
+	var edges []network.FuseEdge
+	for _, c := range topo.Connections {
+		if c.A == c.B {
+			continue
+		}
+		edges = append(edges, network.FuseEdge{A: c.A, B: c.B, Weight: 1})
+	}
+	return edges
+}
+
+// AutoFuseGroups profiles the topology unfused and partitions by
+// observed wire traffic: a fresh copy of the network runs to
+// quiescence with host output discarded, each connection is weighted
+// by its wire activity, edges below a density floor are dropped (quiet
+// wires are not worth losing a parallel shard over), and the rest are
+// greedily contracted to at most maxParts groups.  The pre-run is
+// deterministic, so the resulting placement — and with it the measured
+// run's wall-clock, though never its results — is reproducible.
+func AutoFuseGroups(topo *network.Topology, baseDir string, maxParts int) ([][]string, error) {
+	pre := *topo
+	pre.Shards = nil
+	net, err := BuildNetwork(&pre, baseDir, io.Discard)
+	if err != nil {
+		return nil, fmt.Errorf("autofuse pre-run: %w", err)
+	}
+	rep := RunToQuiescence(net)
+	edges := net.System.TrafficEdges()
+	floor := network.FuseTrafficFloor(rep.Time)
+	return network.GreedyFuse(nodeNames(topo), edges, maxParts, floor), nil
+}
+
+// PrintEngineStats reports windowed-engine diagnostics for a finished
+// run: the partition, window and barrier counts, mean window span, and
+// how deliveries split between the barrier mailbox and the fused
+// intra-kernel fast path.  These numbers describe the simulator, not
+// the simulated system — they vary with -fuse and -workers, unlike
+// every other output.
+func PrintEngineStats(w io.Writer, es sim.EngineStats) {
+	fmt.Fprintf(w, "engine: %d nodes on %d shards, %d windows (%d barriers, %d shard-windows)\n",
+		es.Ports, es.Shards, es.Windows, es.Barriers, es.ShardWindows)
+	if es.Windows > 0 {
+		fmt.Fprintf(w, "engine: mean window span %v, mean active shards %.2f\n",
+			es.SpanSum/sim.Time(es.Windows), float64(es.ShardWindows)/float64(es.Windows))
+	}
+	fmt.Fprintf(w, "engine: %d cross-shard deliveries via barrier mailbox, %d fused intra-kernel\n",
+		es.Cross, es.Fused)
+	if es.BarrierWaitNs > 0 {
+		fmt.Fprintf(w, "engine: %v wall-clock waiting at window barriers\n",
+			(sim.Time)(es.BarrierWaitNs))
+	}
+}

@@ -37,6 +37,11 @@ type Network struct {
 func BuildNetwork(topo *network.Topology, baseDir string, out io.Writer) (*Network, error) {
 	s := network.NewSystem()
 	net := &Network{System: s}
+	if len(topo.Shards) > 0 {
+		if err := s.SetPlacement(topo.Shards); err != nil {
+			return nil, err
+		}
+	}
 	for _, spec := range topo.Transputers {
 		cfg, err := ModelConfig(spec.Model, spec.MemBytes)
 		if err != nil {
