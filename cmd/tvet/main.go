@@ -1,0 +1,21 @@
+// tvet is the repo's vet tool: a unitchecker binary serving the custom
+// determinism and protocol analyzers of internal/analysis.
+//
+// Usage (driven by the go command):
+//
+//	go build -o tvet ./cmd/tvet
+//	go vet -vettool=$PWD/tvet ./...
+//
+// Findings are suppressed per site with
+// "//tvet:ignore <analyzer> <reason>"; see DESIGN.md §15.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	tvet "transputer/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(tvet.All...)
+}

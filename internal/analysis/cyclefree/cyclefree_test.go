@@ -1,0 +1,12 @@
+package cyclefree_test
+
+import (
+	"testing"
+
+	"transputer/internal/analysis/atest"
+	"transputer/internal/analysis/cyclefree"
+)
+
+func TestCyclefree(t *testing.T) {
+	atest.Run(t, atest.TestData(t), cyclefree.Analyzer, "cf")
+}

@@ -1,0 +1,13 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"transputer/internal/analysis/atest"
+	"transputer/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	atest.Run(t, atest.TestData(t), detrange.Analyzer,
+		"transputer/internal/core", "other")
+}

@@ -1,0 +1,11 @@
+// Fixture: a package outside the deterministic set is not checked.
+package other
+
+func Free(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	select {}
+	return s
+}

@@ -1,0 +1,133 @@
+// Fixture for detrange: this package path counts as deterministic.
+package core
+
+import "sort"
+
+func badHash(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map: iteration order is runtime-random`
+		total = total*31 + v
+	}
+	return total
+}
+
+func goodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative integer accumulation
+		total += v
+	}
+	return total
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map: iteration order is runtime-random`
+		total += v // float addition is order-sensitive
+	}
+	return total
+}
+
+func goodCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCollectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map: iteration order is runtime-random`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodSetBuild(m map[string]int, dead map[string]bool) map[string]bool {
+	set := map[string]bool{}
+	for k := range m {
+		set[k] = true
+		delete(dead, k)
+	}
+	return set
+}
+
+func goodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func suppressed(m map[string]int) string {
+	s := ""
+	//tvet:ignore detrange fixture demonstrating an accepted suppression
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func badSelect(a, b chan int) int {
+	select { // want `select over 2 channels picks at random`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func goodSelectDefault(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+type path struct {
+	indirect bool
+	delta    int
+}
+
+// goodIfElseRebuild mirrors occam's enterStatic: a map-to-map rebuild
+// where both branches of the if/else are keyed map writes.
+func goodIfElseRebuild(old map[int]path, delta int) map[int]path {
+	np := make(map[int]path, len(old))
+	for k, p := range old {
+		if p.indirect {
+			np[k] = path{indirect: true, delta: p.delta}
+		} else {
+			np[k] = path{delta: p.delta - delta}
+		}
+	}
+	return np
+}
+
+func badIfElse(m map[string]int) string {
+	s := ""
+	n := 0
+	for k, v := range m { // want `range over map`
+		if v > 0 {
+			n += v
+		} else {
+			s += k
+		}
+	}
+	_ = n
+	return s
+}

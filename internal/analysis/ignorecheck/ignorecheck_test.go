@@ -1,0 +1,12 @@
+package ignorecheck_test
+
+import (
+	"testing"
+
+	"transputer/internal/analysis/atest"
+	"transputer/internal/analysis/ignorecheck"
+)
+
+func TestIgnorecheck(t *testing.T) {
+	atest.Run(t, atest.TestData(t), ignorecheck.Analyzer, "ic")
+}

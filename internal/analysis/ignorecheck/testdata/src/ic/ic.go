@@ -1,0 +1,32 @@
+// Fixture for ignorecheck: suppression comments must be well-formed.
+package ic
+
+func wellFormed() {
+	//tvet:ignore detrange keys are sorted two lines below
+	_ = 0
+}
+
+func unknownName() {
+	//tvet:ignore badname misspelled analyzer
+	_ = 0 // want-1 `tvet:ignore names unknown analyzer "badname"`
+}
+
+func noReason() {
+	//tvet:ignore detrange
+	_ = 0 // want-1 `tvet:ignore without a reason suppresses nothing`
+}
+
+func noAnalyzer() {
+	//tvet:ignore
+	_ = 0 // want-1 `tvet:ignore without an analyzer name`
+}
+
+func allAnalyzers() {
+	//tvet:ignore all fixture file, every analyzer silenced
+	_ = 0
+}
+
+func commaList() {
+	//tvet:ignore detrange,probeguard one comment may cover several analyzers
+	_ = 0
+}

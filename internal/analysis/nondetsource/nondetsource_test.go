@@ -1,0 +1,13 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"transputer/internal/analysis/atest"
+	"transputer/internal/analysis/nondetsource"
+)
+
+func TestNondetsource(t *testing.T) {
+	atest.Run(t, atest.TestData(t), nondetsource.Analyzer,
+		"transputer/internal/sim", "other")
+}

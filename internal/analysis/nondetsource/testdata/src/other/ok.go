@@ -1,0 +1,6 @@
+// Fixture: packages outside the deterministic set may read clocks.
+package other
+
+import "time"
+
+func Free() time.Time { return time.Now() }

@@ -1,0 +1,27 @@
+// Fixture for nondetsource: this package path counts as deterministic.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()        // want `time.Now: wall clock in a deterministic package`
+	time.Sleep(1)         // want `time.Sleep: wall-clock sleep`
+	_ = rand.Intn(4)      // want `math/rand.Intn uses the global random source`
+	_ = rand.Float64()    // want `math/rand.Float64 uses the global random source`
+	_ = os.Getenv("HOME") // want `os.Getenv: environment read`
+}
+
+func goodSeeded() int64 {
+	src := rand.New(rand.NewSource(42))
+	return src.Int63()
+}
+
+//tvet:ignore nondetsource wall-clock diagnostics only, excluded from observable outputs
+func suppressedWall() int64 {
+	t0 := time.Now()
+	return time.Since(t0).Nanoseconds()
+}

@@ -1,0 +1,148 @@
+// Package probeguard enforces the probe bus's zero-overhead contract:
+// every (*probe.Bus).Publish call site must sit behind a nil-bus check.
+//
+// PR 1's contract is that a simulation with no bus attached pays
+// nothing for instrumentation: publishers check `bus != nil` before
+// building the event, so the Event literal and the call never happen on
+// the detached fast path.  A Publish reached without that check either
+// crashes (nil receiver is only safe by accident of the current method
+// body) or quietly taxes the hot path.  Helper methods that rely on a
+// documented caller-side check (core.Machine.emit, link.Engine.emit)
+// carry a //tvet:ignore with that rationale.
+package probeguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"transputer/internal/analysis/tvetutil"
+)
+
+const doc = `require a nil-bus check in front of every probe Publish call
+
+A probe.Bus publish site must be unreachable when no bus is attached:
+wrap it in "if bus != nil { ... }" or return early on "bus == nil"
+before it.  This keeps the detached simulator paying zero cost for
+instrumentation (PR 1).  Wrappers whose callers hold the check carry
+//tvet:ignore probeguard <reason>.`
+
+// Analyzer is the probeguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "probeguard",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == tvetutil.ProbePath {
+		return nil, nil // the bus implementation itself
+	}
+	ig := tvetutil.NewIgnorer(pass)
+	tvetutil.WalkFiles(pass, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Name() != "Publish" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !tvetutil.IsPtrToNamed(sig.Recv().Type(), tvetutil.ProbePath, "Bus") {
+			return true
+		}
+		if guarded(pass, call, stack) {
+			return true
+		}
+		tvetutil.Report(pass, ig, call.Pos(),
+			"probe Publish without a nil-bus guard: wrap in `if bus != nil` or return early on `bus == nil` (zero-overhead contract; //tvet:ignore probeguard <reason> if callers hold the check)")
+		return true
+	})
+	return nil, nil
+}
+
+// guarded reports whether the call is dominated by a nil-bus check:
+// an enclosing if whose condition proves some *probe.Bus non-nil on
+// the branch holding the call, or an earlier early-return on a nil
+// bus in the same function.
+func guarded(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.IfStmt:
+			inBody := i+1 < len(stack) && stack[i+1] == v.Body
+			inElse := i+1 < len(stack) && stack[i+1] == v.Else
+			if inBody && condChecksBus(pass, v.Cond, token.NEQ) {
+				return true
+			}
+			if inElse && condChecksBus(pass, v.Cond, token.EQL) {
+				return true
+			}
+		case *ast.FuncDecl:
+			fnBody = v.Body
+		case *ast.FuncLit:
+			if fnBody == nil {
+				fnBody = v.Body
+			}
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	if fnBody == nil {
+		return false
+	}
+	// Early return: "if bus == nil { ...; return }" before the call.
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= call.Pos() {
+			return !found
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !condChecksBus(pass, ifs.Cond, token.EQL) || len(ifs.Body.List) == 0 {
+			return true
+		}
+		switch ifs.Body.List[len(ifs.Body.List)-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// condChecksBus reports whether the condition contains a comparison
+// `<expr> <op> nil` (op NEQ or EQL) where <expr> has type *probe.Bus.
+// For NEQ the comparison may sit anywhere in an && chain; for EQL
+// anywhere in an || chain — both preserve the guarantee on the branch
+// the caller asked about.
+func condChecksBus(pass *analysis.Pass, cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			expr, other := pair[0], pair[1]
+			if id, ok := other.(*ast.Ident); !ok || id.Name != "nil" {
+				continue
+			}
+			if t := pass.TypesInfo.TypeOf(expr); t != nil && tvetutil.IsPtrToNamed(t, tvetutil.ProbePath, "Bus") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package probeguard_test
+
+import (
+	"testing"
+
+	"transputer/internal/analysis/atest"
+	"transputer/internal/analysis/probeguard"
+)
+
+func TestProbeguard(t *testing.T) {
+	atest.Run(t, atest.TestData(t), probeguard.Analyzer, "pg")
+}

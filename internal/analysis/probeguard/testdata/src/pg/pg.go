@@ -1,0 +1,48 @@
+// Fixture for probeguard: Publish must sit behind a nil-bus check.
+package pg
+
+import "transputer/internal/probe"
+
+type machine struct{ bus *probe.Bus }
+
+func (m *machine) guarded() {
+	if m.bus != nil {
+		m.bus.Publish(probe.Event{})
+	}
+}
+
+func (m *machine) guardedChain(on bool) {
+	if on && m.bus != nil {
+		m.bus.Publish(probe.Event{})
+	}
+}
+
+func (m *machine) earlyReturn() {
+	if m.bus == nil {
+		return
+	}
+	m.bus.Publish(probe.Event{})
+}
+
+func (m *machine) elseBranch() {
+	if m.bus == nil {
+		_ = 0
+	} else {
+		m.bus.Publish(probe.Event{})
+	}
+}
+
+func (m *machine) bad() {
+	m.bus.Publish(probe.Event{}) // want `probe Publish without a nil-bus guard`
+}
+
+func (m *machine) badWrongGuard(on bool) {
+	if on {
+		m.bus.Publish(probe.Event{}) // want `probe Publish without a nil-bus guard`
+	}
+}
+
+//tvet:ignore probeguard callers must have checked the bus, documented contract
+func (m *machine) emit(e probe.Event) {
+	m.bus.Publish(e)
+}

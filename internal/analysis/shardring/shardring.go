@@ -1,0 +1,176 @@
+// Package shardring polices the sender-owned same-shard delivery ring
+// (PR 8).
+//
+// Wires whose two ends share a fused shard deliver through a
+// sender-owned posted-frame FIFO with one cached callback — legal only
+// because members of one shard never run concurrently.  Cross-shard
+// wires must keep per-frame closures: sharing the ring across shards
+// races.  This analyzer requires every touch of the ring state
+// (fifoPush, popPosted, popFn, the fifo/fifoHead fields, and sim's
+// fused deliverLocal) to sit inside a branch proved same-shard — a
+// condition consulting a `fused` flag, a sim.SameShard call, or a
+// direct shard-identity comparison (`a.s == b.s` on *sim.Shard).  The
+// ring's own helpers, reached only from gated paths, carry function-
+// level //tvet:ignore rationales.
+package shardring
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"transputer/internal/analysis/tvetutil"
+)
+
+const doc = `gate every same-shard delivery-ring access behind a fused/SameShard check
+
+The sender-owned posted-frame FIFO (link.wire fifo, sim deliverLocal)
+may be touched only on paths proved same-shard: inside a branch whose
+condition reads a "fused" flag, calls sim.SameShard, or compares shard
+identities.  Cross-shard paths must use per-frame closures — sharing
+the ring races (PR 8).  Ring helpers reached only from gated paths
+carry a function-level //tvet:ignore shardring <reason>.`
+
+// Analyzer is the shardring analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardring",
+	Doc:  doc,
+	Run:  run,
+}
+
+// checkedPackages limits the rule to the packages that implement the
+// engine and its link layer; the ring is not visible elsewhere.
+var checkedPackages = map[string]bool{
+	"transputer/internal/sim":  true,
+	"transputer/internal/link": true,
+}
+
+// ringNames are the members whose every use must be same-shard-gated.
+var ringNames = map[string]bool{
+	"fifoPush":     true,
+	"popPosted":    true,
+	"popFn":        true,
+	"fifo":         true,
+	"fifoHead":     true,
+	"deliverLocal": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := strings.TrimSuffix(pass.Pkg.Path(), ".test")
+	if !checkedPackages[path] {
+		return nil, nil
+	}
+	ig := tvetutil.NewIgnorer(pass)
+	tvetutil.WalkFiles(pass, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !ringNames[sel.Sel.Name] {
+			return true
+		}
+		// Only selectors on ring-owning structs count: w.fifo, p.deliverLocal.
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj == nil || obj.Pkg() == nil || !checkedPackages[obj.Pkg().Path()] {
+			return true
+		}
+		if gated(pass, stack) {
+			return true
+		}
+		tvetutil.Report(pass, ig, sel.Pos(),
+			"same-shard delivery-ring access (%s) outside a fused/SameShard-gated branch: cross-shard paths must use per-frame closures (PR 8)",
+			sel.Sel.Name)
+		return true
+	})
+	return nil, nil
+}
+
+// gated reports whether some enclosing if/switch branch within the
+// current function is conditioned on a same-shard proof.
+func gated(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if i+1 < len(stack) && stack[i+1] == v.Body && sameShardCond(pass, v.Cond) {
+				return true
+			}
+		case *ast.CaseClause:
+			// A boolean case of an expressionless switch is the same
+			// gate as an if: `switch { case op.s == p.s: ... }`.
+			if !tagless(stack, i) {
+				continue
+			}
+			for _, e := range v.List {
+				if sameShardCond(pass, e) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// tagless reports whether the CaseClause at stack[i] belongs to an
+// expressionless switch, where case expressions are boolean guards
+// rather than values compared against a tag.
+func tagless(stack []ast.Node, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		if sw, ok := stack[j].(*ast.SwitchStmt); ok {
+			return sw.Tag == nil
+		}
+	}
+	return false
+}
+
+// sameShardCond reports whether the condition (possibly an && chain)
+// contains a same-shard proof.
+func sameShardCond(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if v.Sel.Name == "fused" {
+				found = true
+			}
+		case *ast.Ident:
+			if v.Name == "fused" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SameShard" {
+				found = true
+			} else if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "SameShard" {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.EQL && isShardExpr(pass, v.X) && isShardExpr(pass, v.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isShardExpr reports whether the expression has type *sim.Shard (a
+// shard-identity operand of an == comparison).
+func isShardExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Shard" && obj.Pkg() != nil && checkedPackages[obj.Pkg().Path()]
+}

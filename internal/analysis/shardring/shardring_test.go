@@ -1,0 +1,13 @@
+package shardring_test
+
+import (
+	"testing"
+
+	"transputer/internal/analysis/atest"
+	"transputer/internal/analysis/shardring"
+)
+
+func TestShardring(t *testing.T) {
+	atest.Run(t, atest.TestData(t), shardring.Analyzer,
+		"transputer/internal/link", "transputer/internal/sim")
+}

@@ -1,0 +1,40 @@
+// Fixture for shardring: ring state only behind fused gates.
+package link
+
+type postedFrame struct{}
+
+type wire struct {
+	fused    bool
+	fifo     []postedFrame
+	fifoHead int
+	popFn    func()
+}
+
+//tvet:ignore shardring ring helper, reached only from the fused branch of transmitNext
+func (w *wire) fifoPush(f postedFrame) {
+	w.fifo = append(w.fifo, f)
+}
+
+func (w *wire) popPosted() {
+	w.fifo[w.fifoHead] = postedFrame{} // want `same-shard delivery-ring access \(fifo\)` `same-shard delivery-ring access \(fifoHead\)`
+	w.fifoHead++                       // want `same-shard delivery-ring access \(fifoHead\)`
+}
+
+func (w *wire) goodGatedPush(f postedFrame) {
+	if w.fused {
+		w.fifoPush(f)
+		if w.popFn == nil {
+			w.popFn = w.popPosted
+		}
+	}
+}
+
+func (w *wire) badUngatedPush(f postedFrame) {
+	w.fifoPush(f) // want `same-shard delivery-ring access \(fifoPush\)`
+}
+
+func (w *wire) badWrongGate(f postedFrame, dropped bool) {
+	if !dropped {
+		w.fifoPush(f) // want `same-shard delivery-ring access \(fifoPush\)`
+	}
+}

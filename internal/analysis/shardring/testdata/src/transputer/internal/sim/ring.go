@@ -1,0 +1,56 @@
+// Fixture for shardring: sim's fused local delivery needs a same-shard
+// proof (shard-identity comparison or SameShard call).
+package sim
+
+type Shard struct{ id int }
+
+type Port struct {
+	s    *Shard
+	xseq uint64
+}
+
+type Clock interface{ Now() int64 }
+
+func SameShard(a, b *Port) bool { return a.s == b.s }
+
+func (p *Port) deliverLocal(dst *Port) { p.xseq++ }
+
+func (p *Port) goodIdentityGate(dst *Port) {
+	if dst.s == p.s {
+		p.deliverLocal(dst)
+	}
+}
+
+func (p *Port) goodSameShardGate(dst *Port) {
+	if SameShard(p, dst) {
+		p.deliverLocal(dst)
+	}
+}
+
+func (p *Port) badUngated(dst *Port) {
+	p.deliverLocal(dst) // want `same-shard delivery-ring access \(deliverLocal\)`
+}
+
+// goodSwitchGate mirrors Port.Cancel: a boolean case of an
+// expressionless switch is the same same-shard proof as an if.
+func (p *Port) goodSwitchGate(dst *Port) {
+	switch {
+	case dst.s == p.s:
+		p.deliverLocal(dst)
+	default:
+	}
+}
+
+func (p *Port) badSwitchNoProof(dst *Port, hot bool) {
+	switch {
+	case hot:
+		p.deliverLocal(dst) // want `same-shard delivery-ring access \(deliverLocal\)`
+	}
+}
+
+func (p *Port) badTaggedSwitch(dst *Port, mode int) {
+	switch mode {
+	case 1:
+		p.deliverLocal(dst) // want `same-shard delivery-ring access \(deliverLocal\)`
+	}
+}

@@ -142,7 +142,10 @@ func (e *Engine) hbTick() {
 		case !e.hb.peerDown[l] && silence > e.hb.timeout:
 			e.hb.peerDown[l] = true
 			if e.bus != nil {
-				e.emit(probe.Event{Kind: probe.Heartbeat, Link: l, Arg: 0, Dur: silence})
+				// Published directly, not via emit: heartbeat events are
+				// link-clocked, and a CPU cycle stamp here would vary
+				// with simulator batching (the block-cache invariant).
+				e.bus.Publish(probe.Event{Kind: probe.Heartbeat, Time: now, Node: e.m.Name(), Link: l, Arg: 0, Dur: silence})
 			}
 			if e.onBeat != nil {
 				e.onBeat(l, false)
@@ -150,7 +153,7 @@ func (e *Engine) hbTick() {
 		case e.hb.peerDown[l] && silence <= e.hb.timeout:
 			e.hb.peerDown[l] = false
 			if e.bus != nil {
-				e.emit(probe.Event{Kind: probe.Heartbeat, Link: l, Arg: 1, Dur: silence})
+				e.bus.Publish(probe.Event{Kind: probe.Heartbeat, Time: now, Node: e.m.Name(), Link: l, Arg: 1, Dur: silence})
 			}
 			if e.onBeat != nil {
 				e.onBeat(l, true)

@@ -314,6 +314,9 @@ type postedFrame struct {
 	p     packet
 }
 
+// fifoPush appends to the fused delivery ring.
+//
+//tvet:ignore shardring this IS the ring implementation; every call site is fused-gated
 func (w *wire) fifoPush(f postedFrame) {
 	if w.fifoHead == len(w.fifo) {
 		w.fifo, w.fifoHead = w.fifo[:0], 0
@@ -325,6 +328,8 @@ func (w *wire) fifoPush(f postedFrame) {
 // it consumes the next fifo entry — always the one this event was
 // posted for, by the wire-order argument above — and dispatches it
 // unless the receiver-side cut gate has closed in the meantime.
+//
+//tvet:ignore shardring this IS the ring implementation; only fused wires ever post ring entries
 func (w *wire) popPosted() {
 	f := w.fifo[w.fifoHead]
 	w.fifo[w.fifoHead] = postedFrame{}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -501,12 +502,24 @@ func validateVChans(topo *Topology, vchanLine, faultLine []int, wiredLine map[st
 	}
 	// adjacent records every node touching a multiplexed wire, so halt
 	// and restart rules can be refused along with wire-level faults.
+	// A node on two multiplexed wires keeps the line number of the
+	// lexically earliest end, so refusals cite a stable line.
+	muxEnds := make([]string, 0, len(muxed))
+	for end := range muxed {
+		muxEnds = append(muxEnds, end)
+	}
+	sort.Strings(muxEnds)
 	adjacent := make(map[string]int)
-	for end, no := range muxed {
+	for _, end := range muxEnds {
+		no := muxed[end]
 		node, _, _ := strings.Cut(end, ".")
-		adjacent[node] = no
+		if _, seen := adjacent[node]; !seen {
+			adjacent[node] = no
+		}
 		pnode, _, _ := strings.Cut(peerEnd[end], ".")
-		adjacent[pnode] = no
+		if _, seen := adjacent[pnode]; !seen {
+			adjacent[pnode] = no
+		}
 	}
 	for i, r := range topo.Faults {
 		no := faultLine[i]

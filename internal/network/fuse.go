@@ -96,6 +96,7 @@ func GreedyFuse(nodes []string, edges []FuseEdge, maxParts int, minWeight uint64
 			agg[pair{a, b}] += e.Weight
 		}
 		best, bestW := pair{-1, -1}, uint64(0)
+		//tvet:ignore detrange max-reduction with a total tie-break on (weight, pair), so the winner is iteration-order-free
 		for p, w := range agg {
 			if w > bestW || (w == bestW && bestW > 0 &&
 				(p.a < best.a || (p.a == best.a && p.b < best.b))) {

@@ -1,0 +1,52 @@
+package network
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParseTopology throws arbitrary text at the topology parser and
+// checks its contract: no panic, and a successful parse only ever
+// wires declared nodes.
+func FuzzParseTopology(f *testing.F) {
+	f.Add("transputer a t424\ntransputer b t424\nconnect a.0 b.1\n")
+	f.Add("transputer a t424 mem=64K program=p.occ\nhost a.2\nrun 50ms\n")
+	f.Add("# comment\n\ntransputer n t424\ninput n 1 2 3\n")
+	f.Add("transputer a t424\ntransputer b t424\nconnect a.0 b.0\nvchan a.0 4\nroute on\n")
+	f.Add("seed 42\nlinkmode detect\nheartbeat 1ms 5ms\n")
+	for _, ex := range []string{
+		"../../examples/netdemo/ring.tnet",
+		"../../examples/vchan/sieve.tnet",
+		"../../examples/faults/healed-ring.tnet",
+		"../../examples/faults/severed-ring.tnet",
+		"../../examples/faults/restart-grid.tnet",
+		"../../examples/faults/lossy-link.tnet",
+	} {
+		if b, err := os.ReadFile(ex); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ParseTopology(src)
+		if err != nil {
+			return
+		}
+		if topo == nil {
+			t.Fatalf("ParseTopology(%q) returned neither topology nor error", src)
+		}
+		declared := make(map[string]bool, len(topo.Transputers))
+		for _, tr := range topo.Transputers {
+			declared[tr.Name] = true
+		}
+		for _, c := range topo.Connections {
+			if !declared[c.A] || !declared[c.B] {
+				t.Fatalf("ParseTopology(%q) accepted a wire between undeclared nodes %q-%q", src, c.A, c.B)
+			}
+		}
+		for _, h := range topo.Hosts {
+			if !declared[h.Node] {
+				t.Fatalf("ParseTopology(%q) accepted a host on undeclared node %q", src, h.Node)
+			}
+		}
+	})
+}

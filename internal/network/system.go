@@ -406,6 +406,8 @@ func (n *Node) Peer(l int) (peer *Node, peerLink int, ok bool) {
 // shard.  The cycle counter is deliberately left unstamped: such
 // publishers run asynchronously to the CPU, and its cycle count at
 // this instant depends on simulator batching, not architecture.
+//
+//tvet:ignore probeguard col == nil is the no-probe fast path; a collector always carries a bus
 func (n *Node) Publish(ev probe.Event) {
 	if n.col == nil {
 		return

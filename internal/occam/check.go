@@ -406,7 +406,47 @@ func (c *checker) declareItems(items []declItem, kind symbolKind, sc *scope, pla
 	return nil
 }
 
+// findNestedPar returns the first PAR construct anywhere in the
+// process tree, or nil.  declareProc uses it to refuse PAR inside a
+// PROC body: a called PROC runs on its caller's thread with a
+// statically-linked frame, and the generator's component frame layout
+// assumes the spawning PAR is lexically enclosing (see gen.go), so a
+// PAR reached through a call would corrupt the caller's workspace.
+func findNestedPar(p process) *parProc {
+	switch v := p.(type) {
+	case *parProc:
+		return v
+	case *seqProc:
+		for _, sub := range v.procs {
+			if par := findNestedPar(sub); par != nil {
+				return par
+			}
+		}
+	case *declProc:
+		return findNestedPar(v.body)
+	case *whileProc:
+		return findNestedPar(v.body)
+	case *ifProc:
+		for _, br := range v.branches {
+			if par := findNestedPar(br.body); par != nil {
+				return par
+			}
+		}
+	case *altProc:
+		for _, br := range v.branches {
+			if par := findNestedPar(br.body); par != nil {
+				return par
+			}
+		}
+	}
+	return nil
+}
+
 func (c *checker) declareProc(d *procDecl, sc *scope) *Err {
+	if par := findNestedPar(d.body); par != nil {
+		return errf(par.line, par.col,
+			"PAR inside PROC %q is not supported: a PROC body runs on its caller's thread; spawn the PAR at the call site instead", d.name)
+	}
 	f := c.newFrame()
 	info := &procInfo{decl: d, frame: f, label: fmt.Sprintf("proc.%s.%d", d.name, f.id)}
 	sym := &symbol{kind: symProc, name: d.name, pos: d.pos, proc: info}

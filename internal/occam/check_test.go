@@ -137,3 +137,20 @@ x := c
 	// Division by a zero constant is not foldable.
 	rejectWith(t, "DEF z = 0:\nDEF bad = 1 / z:\nSKIP\n", "constant")
 }
+
+func TestCheckNoParInProc(t *testing.T) {
+	// A PROC body runs on its caller's thread, so a nested PAR would
+	// corrupt the caller's workspace; it is refused at compile time,
+	// wherever it hides in the body.
+	rejectWith(t, "PROC p() =\n  PAR\n    SKIP\n    SKIP\n:\np()\n",
+		`PAR inside PROC "p" is not supported`)
+	rejectWith(t, "PROC p() =\n  SEQ\n    SKIP\n    PAR\n      SKIP\n:\np()\n",
+		`PAR inside PROC "p" is not supported`)
+	rejectWith(t, "PROC p(VALUE n) =\n  WHILE n > 0\n    PAR\n      SKIP\n:\np(1)\n",
+		`PAR inside PROC "p" is not supported`)
+	rejectWith(t, "PROC p(VALUE n) =\n  IF\n    n > 0\n      PAR\n        SKIP\n:\np(1)\n",
+		`PAR inside PROC "p" is not supported`)
+	// Top-level PAR calling PROCs stays legal: that is the idiomatic
+	// shape — the PAR spawns, the PROCs do the work.
+	mustCompile(t, "PROC p(CHAN out) =\n  out ! 1\n:\nCHAN c:\nVAR v:\nPAR\n  p(c)\n  c ? v\n")
+}

@@ -1,0 +1,59 @@
+package occam
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzLexer throws arbitrary source at the indentation-sensitive lexer
+// and checks its structural guarantees: no panic, a tokEOF terminator,
+// and balanced indent/dedent pairs (the parser leans on both).
+func FuzzLexer(f *testing.F) {
+	f.Add("SEQ\n  SKIP\n  SKIP\n")
+	f.Add("VAR x:\nPAR\n  x := 1\n  SKIP\n")
+	f.Add("PROC p(CHAN c, VALUE n) =\n  c ! n + 1\n:\nCHAN out:\nVAR v:\nPAR\n  p(out, 3)\n  out ? v\n")
+	f.Add("WHILE TRUE\n  ALT\n    a ? x\n      SKIP\n    b ? y\n      SKIP\n")
+	f.Add("DEF msg = \"hello*c*n\":\nSKIP\n")
+	f.Add("SEQ i = [0 FOR 10]\n  c ! i\n")
+	f.Add("-- comment only\n")
+	f.Add("\t\n  \nSKIP")
+	for _, ex := range []string{
+		"../../examples/quickstart/squares.occ",
+		"../../examples/netdemo/ring.occ",
+		"../../examples/netdemo/ring0.occ",
+		"../../examples/vchan/sieve-a.occ",
+		"../../examples/vchan/sieve-b.occ",
+		"../../examples/faults/ring-master.occ",
+	} {
+		if b, err := os.ReadFile(ex); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 {
+			t.Fatalf("lex accepted %q with an empty token stream", src)
+		}
+		if toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("lex accepted %q without a tokEOF terminator", src)
+		}
+		depth := 0
+		for _, tk := range toks {
+			switch tk.kind {
+			case tokIndent:
+				depth++
+			case tokDedent:
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("lex of %q dedents below the left margin", src)
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("lex of %q leaves %d unbalanced indents", src, depth)
+		}
+	})
+}

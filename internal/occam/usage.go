@@ -1,5 +1,7 @@
 package occam
 
+import "sort"
+
 // Usage checking — the static discipline behind the paper's design
 // correctness story (section 2.2.1): occam's parallel components must
 // be disjoint.  A variable assigned in one component of a PAR may not
@@ -330,6 +332,7 @@ func (c *checker) summariseProc(pd *procDecl) *Err {
 // touches reports whether any entity of the given symbol appears in
 // the set.
 func (e *effects) touches(sym *symbol, set map[entity]bool) bool {
+	//tvet:ignore detrange existence scan returning a constant; the result is iteration-order-invisible
 	for ent := range set {
 		if ent.sym == sym {
 			return true
@@ -338,16 +341,46 @@ func (e *effects) touches(sym *symbol, set map[entity]bool) bool {
 	return false
 }
 
-// anyOverlap finds an entity in a that overlaps one in b.
+// anyOverlap finds an entity in a that overlaps one in b.  Both sets
+// are scanned in source order so that when several entities conflict,
+// the one named in the compile error does not depend on map iteration
+// order.
 func anyOverlap(a, b map[entity]bool) (entity, bool) {
-	for ea := range a {
-		for eb := range b {
+	as, bs := sortedEntities(a), sortedEntities(b)
+	for _, ea := range as {
+		for _, eb := range bs {
 			if ea.overlaps(eb) {
 				return ea, true
 			}
 		}
 	}
 	return entity{}, false
+}
+
+// sortedEntities flattens a usage set into a slice ordered by the
+// declaring symbol's position, then by element index.
+func sortedEntities(set map[entity]bool) []entity {
+	out := make([]entity, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.sym != b.sym {
+			if a.sym.pos.line != b.sym.pos.line {
+				return a.sym.pos.line < b.sym.pos.line
+			}
+			if a.sym.pos.col != b.sym.pos.col {
+				return a.sym.pos.col < b.sym.pos.col
+			}
+			return a.sym.name < b.sym.name
+		}
+		if a.indexed != b.indexed {
+			return !a.indexed
+		}
+		return a.idx < b.idx
+	})
+	return out
 }
 
 // checkDisjoint enforces the PAR rules across component effects.

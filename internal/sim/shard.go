@@ -728,8 +728,10 @@ func (c *Coordinator) runWindow(active []*Shard) {
 	// The coordinator works the window too, then waits out the stragglers.
 	for c.tryClaim() {
 	}
+	//tvet:ignore nondetsource wall-clock here only feeds EngineStats barrier-wait diagnostics, never simulation state
 	t0 := time.Now()
 	c.windowWg.Wait()
+	//tvet:ignore nondetsource wall-clock here only feeds EngineStats barrier-wait diagnostics, never simulation state
 	c.stBarrierWait += time.Since(t0).Nanoseconds()
 }
 
